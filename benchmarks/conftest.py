@@ -1,0 +1,26 @@
+"""Shared fixtures for the table/figure reproduction benchmarks.
+
+Every benchmark prints the rows/series the paper reports (via ``-s`` or
+captured in the report) and asserts the *shape* of the result — who wins,
+by roughly what factor, where crossovers fall — per EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark.
+
+    The experiments are deterministic discrete-event simulations or
+    solver runs; repeating them only re-measures the same computation, so
+    a single round keeps the suite's wall-clock sane.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

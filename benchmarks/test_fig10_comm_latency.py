@@ -1,0 +1,95 @@
+"""Fig. 10: seed<->soil communication latency, shared buffer vs gRPC.
+
+Paper's shape: "gRPC scales linearly with deployed seed count, becoming
+the latency bottleneck ... a marginal latency overhead of the shared
+buffer scheme even with 150 seeds".
+
+Beyond the analytic model, the end-to-end check deploys real seeds under
+both soil configurations and measures delivered event latency.
+"""
+
+from repro.almanac.parser import parse
+from repro.almanac.xmlcodec import encode_program
+from repro.core.comm import CommScheme, ControlBus, ExecutionMode, SoilCommConfig
+from repro.core.soil import Soil
+from repro.eval import run_fig10_comm_latency
+from repro.eval.reporting import format_latency, format_table, linear_slope, series_by
+from repro.sim.engine import Simulator
+from repro.switchsim.chassis import Switch
+from repro.switchsim.stratum import driver_for
+
+ECHO_SEED = """
+machine Echo {
+  place all;
+  time tick = 0.01;
+  state s {
+    util (res) { return 1; }
+    when (tick) do { send now() to harvester; }
+  }
+}
+"""
+
+
+def measured_event_latency(config: SoilCommConfig, num_seeds: int) -> float:
+    """Mean tick->handler latency with ``num_seeds`` deployed."""
+    sim = Simulator()
+    switch = Switch(sim, 1)
+    bus = ControlBus(sim)
+    soil = Soil(sim, switch, driver_for(switch), bus, config=config)
+    program = parse(ECHO_SEED)
+    xml = encode_program(program)
+    received = []
+    for index in range(num_seeds):
+        seed_id = f"echo{index}"
+        bus.register(f"harvester/task-{seed_id}",
+                     lambda m: received.append(m))
+        soil.deploy(seed_id=seed_id, task_id=f"task-{seed_id}",
+                    program_xml=xml, machine_name="Echo",
+                    allocation={"vCPU": 0.01, "RAM": 4, "TCAM": 1,
+                                "PCIe": 1},
+                    event_cpu_s=1e-6)
+    sim.run(until=0.5)
+    # Each report carries now() at handler execution; ticks fire at
+    # k * 0.01, so latency = handler time minus its tick boundary.
+    import math
+    latencies = []
+    for message in received:
+        handled_at = message.payload["value"]
+        tick = math.floor(handled_at / 0.01 + 1e-9) * 0.01
+        latencies.append(handled_at - tick)
+    return sum(latencies) / len(latencies) if latencies else 0.0
+
+
+def test_fig10_comm_latency_model(once):
+    points = once(run_fig10_comm_latency,
+                  seed_counts=(1, 25, 50, 100, 150))
+    print("\nFig. 10 — seed<->soil one-way latency (model):")
+    print(format_table(
+        ["scheme", "seeds", "latency"],
+        [(p.scheme, p.seeds, format_latency(p.latency_s))
+         for p in points]))
+    series = series_by(points, "scheme", "seeds", "latency_s")
+    assert linear_slope(series["grpc"]) > 0
+    assert abs(linear_slope(series["shared_buffer"])) < 1e-12
+    assert dict(series["grpc"])[150] > 50 * dict(series["shared_buffer"])[150]
+
+
+def test_fig10_measured_end_to_end(once):
+    def measure():
+        grpc = SoilCommConfig(ExecutionMode.PROCESS, CommScheme.GRPC)
+        shared = SoilCommConfig(ExecutionMode.THREAD,
+                                CommScheme.SHARED_BUFFER)
+        return {
+            ("grpc", 10): measured_event_latency(grpc, 10),
+            ("grpc", 100): measured_event_latency(grpc, 100),
+            ("shared", 10): measured_event_latency(shared, 10),
+            ("shared", 100): measured_event_latency(shared, 100),
+        }
+
+    results = once(measure)
+    print("\nFig. 10 — measured in-simulation event latency:")
+    for (scheme, seeds), latency in sorted(results.items()):
+        print(f"  {scheme:7s} {seeds:4d} seeds: {format_latency(latency)}")
+    # gRPC latency grows with seed count; shared buffer barely moves.
+    assert results[("grpc", 100)] > 2 * results[("grpc", 10)]
+    assert results[("shared", 100)] < results[("grpc", 100)] / 3

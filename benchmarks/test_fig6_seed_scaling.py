@@ -1,0 +1,77 @@
+"""Fig. 6: CPU load vs number of collocated seeds, HH and ML tasks.
+
+Paper's shape:
+(a) HH @ 1 ms — load grows with seeds, noticeable but manageable;
+(b) HH @ 10 ms — light load, easily >100 seeds per switch;
+(c) ML @ 1 ms x1 iteration — ~150% higher load than HH, the CPU cannot
+    run all seeds in parallel beyond a few dozen;
+(d) ML @ 10 ms x10 iterations — partitioning recovers scalability up to
+    250 seeds.
+"""
+
+from repro.eval import run_fig6_seed_scaling
+from repro.eval.reporting import format_table
+
+
+def _print(points, label):
+    print(f"\nFig. 6{label}:")
+    print(format_table(
+        ["seeds", "CPU %", "accuracy met"],
+        [(p.seeds, f"{p.cpu_load_percent:.1f}",
+          "yes" if p.polling_accuracy_met else "NO")
+         for p in points]))
+
+
+def test_fig6a_hh_1ms(once):
+    points = once(run_fig6_seed_scaling, task="hh", accuracy_ms=1.0,
+                  seed_counts=(10, 20, 40, 60, 80, 100), duration_s=2.0)
+    _print(points, "a — HH task, 1 ms accuracy")
+    loads = {p.seeds: p.cpu_load_percent for p in points}
+    assert loads[100] > loads[10] * 5       # grows with seed count
+    assert loads[100] < 400                 # but the switch survives
+
+
+def test_fig6b_hh_10ms(once):
+    points = once(run_fig6_seed_scaling, task="hh", accuracy_ms=10.0,
+                  seed_counts=(10, 20, 40, 60, 80, 100), duration_s=2.0)
+    _print(points, "b — HH task, 10 ms accuracy")
+    loads = {p.seeds: p.cpu_load_percent for p in points}
+    # Light load: >100 seeds per switch at 10 ms is easy (paper SVI-C).
+    assert loads[100] < 100
+    assert all(p.polling_accuracy_met for p in points)
+
+
+def test_fig6c_ml_1ms_parallel(once):
+    points = once(run_fig6_seed_scaling, task="ml", accuracy_ms=1.0,
+                  iterations=1, seed_counts=(10, 20, 30, 40, 50),
+                  duration_s=1.0)
+    _print(points, "c — ML task, 1 ms accuracy, 1 iteration")
+    loads = {p.seeds: p.cpu_load_percent for p in points}
+    # The blow-up: 50 parallel ML seeds melt a quad-core (paper ~350%).
+    assert loads[50] > 300
+    assert not points[-1].polling_accuracy_met
+
+
+def test_fig6d_ml_10ms_partitioned(once):
+    points = once(run_fig6_seed_scaling, task="ml", accuracy_ms=10.0,
+                  iterations=10, seed_counts=(50, 100, 150, 200, 250),
+                  duration_s=1.0)
+    _print(points, "d — ML task, 10 ms accuracy, 10 iterations")
+    loads = {p.seeds: p.cpu_load_percent for p in points}
+    # Partitioning scales to 250 seeds with load comparable to (c)'s 50.
+    assert loads[250] < 3000
+    assert loads[50] < 600
+
+
+def test_fig6_ml_vs_hh_cost_gap(once):
+    """SVI-C: ML at 1 ms is ~150%+ above the HH task's load."""
+    def measure():
+        ml = run_fig6_seed_scaling(task="ml", accuracy_ms=1.0,
+                                   seed_counts=(20,), duration_s=1.0)
+        hh = run_fig6_seed_scaling(task="hh", accuracy_ms=1.0,
+                                   seed_counts=(20,), duration_s=1.0)
+        return ml[0].cpu_load_percent, hh[0].cpu_load_percent
+
+    ml_load, hh_load = once(measure)
+    print(f"\nML vs HH @ 20 seeds, 1 ms: {ml_load:.1f}% vs {hh_load:.1f}%")
+    assert ml_load > 2.5 * hh_load

@@ -1,0 +1,43 @@
+"""Fig. 8: the PCIe bus congests while the ASIC loafs.
+
+Paper: "The PCIe bus capacity for polling traffic statistics is limited
+to 8 Mbps ... while their ASICs support 100 Gbps (i.e., a 1:12500
+ratio)".  Shape: a handful of 1 ms-polling seeds saturate the polling
+path; ASIC utilization stays at a fraction of a percent; aggregation
+collapses the demand back to a single poll stream.
+"""
+
+from repro.eval import run_fig8_pcie
+from repro.eval.reporting import format_table
+
+
+def test_fig8_pcie_congestion(once):
+    def run_both():
+        no_agg = run_fig8_pcie(seed_counts=(1, 2, 4, 8, 16, 32),
+                               duration_s=0.2, aggregation=False)
+        agg = run_fig8_pcie(seed_counts=(32,), duration_s=0.2,
+                            aggregation=True)
+        return no_agg, agg
+
+    no_agg, agg = once(run_both)
+    print("\nFig. 8 — PCIe oversubscription vs ASIC utilization "
+          "(1 ms polling, no aggregation):")
+    print(format_table(
+        ["seeds", "PCIe demand/capacity", "ASIC utilization"],
+        [(p.seeds, f"{p.pcie_oversubscription:.2f}x",
+          f"{p.asic_utilization * 100:.3f}%") for p in no_agg]))
+    print(f"with aggregation, 32 seeds: "
+          f"{agg[0].pcie_oversubscription:.2f}x")
+
+    by_seeds = {p.seeds: p for p in no_agg}
+    # A single seed fits; a handful saturate (crossover between 2 and 4).
+    assert by_seeds[1].pcie_oversubscription < 1.0
+    assert by_seeds[4].pcie_oversubscription > 1.0
+    # Demand adds up linearly without aggregation.
+    assert by_seeds[32].pcie_oversubscription \
+        > 20 * by_seeds[1].pcie_oversubscription
+    # The ASIC never breaks a sweat (the 1:12500-style asymmetry).
+    assert all(p.asic_utilization < 0.01 for p in no_agg)
+    # Aggregation collapses 32 identical polls into one.
+    assert agg[0].pcie_oversubscription \
+        <= by_seeds[1].pcie_oversubscription * 1.01

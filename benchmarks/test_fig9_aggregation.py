@@ -1,0 +1,37 @@
+"""Fig. 9: soil CPU cost of aggregating seed poll requests.
+
+Paper's shape: aggregation's CPU cost "is only noticeable when seeds run
+as processes, while thread-based seeds in the soil perform equally well
+regardless of aggregation, even with more than 100 seeds".
+"""
+
+from repro.eval import run_fig9_aggregation
+from repro.eval.reporting import format_table
+
+
+def test_fig9_aggregation_cost(once):
+    points = once(run_fig9_aggregation,
+                  seed_counts=(1, 25, 50, 100, 150), duration_s=2.0)
+    print("\nFig. 9 — soil CPU load, aggregation on/off, "
+          "threads vs processes:")
+    print(format_table(
+        ["mode", "aggregation", "seeds", "CPU %"],
+        [(p.mode, "on" if p.aggregation else "off", p.seeds,
+          f"{p.soil_cpu_percent:.1f}") for p in points]))
+
+    def load(mode, agg, seeds):
+        return next(p.soil_cpu_percent for p in points
+                    if p.mode == mode and p.aggregation == agg
+                    and p.seeds == seeds)
+
+    for seeds in (100, 150):
+        # Threads: aggregation is free (within noise).
+        thread_on = load("threads", True, seeds)
+        thread_off = load("threads", False, seeds)
+        assert abs(thread_on - thread_off) / thread_off < 0.25
+        # Processes: aggregation cost is clearly visible...
+        process_on = load("processes", True, seeds)
+        process_off = load("processes", False, seeds)
+        assert process_on > 1.15 * process_off
+        # ...and processes are far costlier than threads overall.
+        assert process_off > 3 * thread_off

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Writing your own M&M task in Almanac, end to end.
+
+This example builds a *QoS guard* that is not in the paper's task table:
+it watches a tenant prefix's bandwidth, and when the tenant exceeds its
+contract the seed locally tags the traffic down to a scavenger QoS class;
+dropping back under the contract restores it.  Three states, a placement
+constraint, a harvester, and a dynamically adjustable contract — most of
+Almanac's surface in ~60 lines of DSL.
+
+Run:  python examples/custom_almanac_task.py
+"""
+
+from repro.core.deployment import FarmDeployment
+from repro.core.harvester import Harvester
+from repro.core.task import TaskDefinition
+from repro.net.addresses import parse_ip
+from repro.net.packet import PROTO_TCP, Flow, FlowKey
+from repro.net.topology import spine_leaf
+
+QOS_GUARD = """
+machine QosGuard {
+  // Pin the guard to the tenant's access switches only
+  // (switches 2 and 5 are the two leaves of this topology).
+  place all 2, 5;
+  poll pollStats = Poll { .ival = 20 / res().PCIe, .what = port ANY };
+  external long contractBps;
+  external string tenantPrefix;
+  float lastRate = 0.0;
+
+  state compliant {
+    util (res) {
+      if (res.vCPU >= 0.25 and res.RAM >= 32) then {
+        return min(res.vCPU * 10, res.PCIe / 100);
+      }
+    }
+    when (pollStats as stats) do {
+      lastRate = tenantRate(stats);
+      if (lastRate > contractBps) then {
+        transit violating;
+      }
+    }
+  }
+
+  state violating {
+    util (res) { return 60; }
+    when (enter) do {
+      // Local reaction: demote the tenant to the scavenger class.
+      addTCAMRule(makeRule(srcIP tenantPrefix, makeQosAction("scavenger")));
+      send lastRate to harvester;
+    }
+    when (pollStats as stats) do {
+      lastRate = tenantRate(stats);
+      if (lastRate <= contractBps) then {
+        removeTCAMRule(srcIP tenantPrefix);
+        send "restored" to harvester;
+        transit compliant;
+      }
+    }
+  }
+
+  when (recv long newContract from harvester) do {
+    contractBps = newContract;
+  }
+}
+
+function float tenantRate(list stats) {
+  float total = 0.0;
+  int i = 0;
+  while (i < size(stats)) {
+    total = total + get(stats, i).rate_bps;
+    i = i + 1;
+  }
+  return total;
+}
+"""
+
+
+class QosHarvester(Harvester):
+    def __init__(self):
+        super().__init__("qos-harvester")
+        self.violations = []
+        self.restorations = 0
+
+    def on_seed_report(self, report):
+        if report.value == "restored":
+            self.restorations += 1
+        else:
+            self.violations.append((report.time, report.switch,
+                                    report.value))
+
+    def renegotiate(self, contract_bps):
+        return self.send_to_seeds("QosGuard", int(contract_bps))
+
+
+def main() -> None:
+    farm = FarmDeployment(topology=spine_leaf(1, 2, 2))
+    harvester = QosHarvester()
+    task = TaskDefinition.single_machine(
+        task_id="qos-guard", source=QOS_GUARD, machine_name="QosGuard",
+        externals={"contractBps": 5_000_000,
+                   "tenantPrefix": "10.1.1.0/24"},
+        harvester=harvester)
+    farm.submit(task)
+    farm.settle()
+    locations = [seed.switch
+                 for seed in farm.seeder.tasks["qos-guard"].seeds]
+    print(f"QosGuard seeds placed on switches {sorted(locations)} "
+          f"(pinned by the place directive)")
+
+    # The tenant at 10.1.1.0/24 starts within contract, then bursts.
+    leaf = 2
+    key = FlowKey(parse_ip("10.1.1.10"), parse_ip("10.2.1.1"), 4000, 443,
+                  PROTO_TCP)
+    flow = Flow(key, rate_bps=2e6, start_time=farm.sim.now)
+    farm.fleet.get(leaf).asic.attach_flow(flow, 0, 1)
+    t0 = farm.sim.now
+    farm.run(until=t0 + 0.2)
+    print(f"[t=0.2s] within contract, violations: "
+          f"{len(harvester.violations)}")
+
+    flow.set_rate(20e6, at_time=farm.sim.now)  # burst: 4x the contract
+    farm.run(until=farm.sim.now + 0.2)
+    print(f"[t=0.4s] burst detected: {len(harvester.violations)} "
+          f"violation(s), QoS rule installed: "
+          f"{farm.fleet.get(leaf).tcam.used('monitoring')} rule(s)")
+
+    flow.set_rate(1e6, at_time=farm.sim.now)  # tenant calms down
+    farm.run(until=farm.sim.now + 0.2)
+    print(f"[t=0.6s] restored: {harvester.restorations}, rules left: "
+          f"{farm.fleet.get(leaf).tcam.used('monitoring')}")
+
+    # Renegotiate the contract at runtime, fleet-wide, one call.
+    harvester.renegotiate(50_000_000)
+    flow.set_rate(20e6, at_time=farm.sim.now)
+    farm.run(until=farm.sim.now + 0.2)
+    print(f"[t=0.8s] after renegotiation the same burst is compliant: "
+          f"violations still {len(harvester.violations)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""FARM: comprehensive data center network monitoring and management.
+
+Reproduction of Graf et al., ICDCS 2024.  The most common entry points
+are re-exported here; substrates live in their subpackages:
+
+>>> from repro import FarmDeployment
+>>> from repro.tasks import make_heavy_hitter_task
+>>> farm = FarmDeployment()
+>>> farm.submit(make_heavy_hitter_task())  # doctest: +SKIP
+"""
+
+from repro.core.deployment import FarmDeployment
+from repro.core.harvester import Harvester
+from repro.core.task import MachineConfig, TaskDefinition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FarmDeployment",
+    "Harvester",
+    "MachineConfig",
+    "TaskDefinition",
+    "__version__",
+]

@@ -1,0 +1,161 @@
+"""Tokenizer for Almanac source."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import AlmanacSyntaxError
+
+KEYWORDS = frozenset({
+    "machine", "extends", "state", "place", "all", "any",
+    "sender", "receiver", "midpoint", "range",
+    "util", "when", "do", "recv", "from", "as",
+    "enter", "exit", "realloc", "transit", "send", "to", "harvester",
+    "if", "then", "else", "while", "return",
+    "external", "and", "or", "not", "true", "false",
+    "function", "struct",
+    # types
+    "bool", "int", "long", "float", "string", "list", "packet",
+    "action", "filter",
+    # trigger types
+    "time", "poll", "probe",
+    # filter atoms
+    "srcIP", "dstIP", "port", "srcPort", "dstPort", "proto", "tcpFlags",
+})
+
+SYMBOLS = (
+    "<=", ">=", "<>", "==", "!=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "@",
+    "=", "<", ">", "+", "-", "*", "/",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | INT | FLOAT | STRING | SYMBOL | EOF | ANY
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Almanac source.  Raises :class:`AlmanacSyntaxError`."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise AlmanacSyntaxError("unterminated block comment", line, col)
+            for c in source[i:end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        # strings
+        if ch == '"':
+            start_line, start_col = line, col
+            j = i + 1
+            chars: List[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise AlmanacSyntaxError(
+                        "unterminated string literal", start_line, start_col)
+                if source[j] == "\\" and j + 1 < n:
+                    escape = source[j + 1]
+                    chars.append({"n": "\n", "t": "\t", '"': '"',
+                                  "\\": "\\"}.get(escape, escape))
+                    j += 2
+                else:
+                    chars.append(source[j])
+                    j += 1
+            if j >= n:
+                raise AlmanacSyntaxError(
+                    "unterminated string literal", start_line, start_col)
+            text = "".join(chars)
+            col += (j + 1 - i)
+            i = j + 1
+            yield Token("STRING", text, start_line, start_col)
+            continue
+        # numbers
+        if ch.isdigit():
+            start_line, start_col = line, col
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit()
+                             or (source[j] == "." and not seen_dot
+                                 and j + 1 < n and source[j + 1].isdigit())):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            # scientific notation
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    seen_dot = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            col += j - i
+            i = j
+            yield Token("FLOAT" if seen_dot else "INT", text,
+                        start_line, start_col)
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            col += j - i
+            i = j
+            if text == "ANY":
+                yield Token("ANY", text, start_line, start_col)
+            elif text in KEYWORDS:
+                yield Token("KEYWORD", text, start_line, start_col)
+            else:
+                yield Token("IDENT", text, start_line, start_col)
+            continue
+        # symbols (longest match first)
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                yield Token("SYMBOL", sym, line, col)
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise AlmanacSyntaxError(f"unexpected character {ch!r}", line, col)
+    yield Token("EOF", "", line, col)

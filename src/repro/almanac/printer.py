@@ -1,0 +1,249 @@
+"""Pretty-printer: AST -> canonical Almanac source.
+
+The inverse of the parser, used by tooling (diffing deployed seeds,
+debugging the seeder's compiled output) and heavily exercised by property
+tests: for any program ``p``, ``parse(print(p)) == p`` up to source
+positions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.almanac import astnodes as ast
+from repro.errors import AlmanacError
+
+_INDENT = "  "
+
+# Binding strength per operator, mirroring the parser's precedence.
+_PRECEDENCE = {
+    "or": 1, "and": 2,
+    "==": 3, "<>": 3, "<=": 3, ">=": 3, "<": 3, ">": 3,
+    "+": 4, "-": 4, "*": 5, "/": 5,
+}
+_UNARY_PRECEDENCE = 6
+
+
+class PrinterError(AlmanacError):
+    """An AST node the printer does not understand."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+def format_expr(expr: ast.Expr, parent_precedence: int = 0) -> str:
+    """Render an expression, parenthesizing only where binding requires."""
+    if isinstance(expr, ast.Lit):
+        return _format_literal(expr.value)
+    if isinstance(expr, ast.AnyLit):
+        return "ANY"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.FieldAccess):
+        return f"{format_expr(expr.obj, _UNARY_PRECEDENCE + 1)}" \
+               f".{expr.fieldname}"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ast.FilterAtom):
+        inner = format_expr(expr.arg, _UNARY_PRECEDENCE)
+        text = f"{expr.kind} {inner}"
+        return text if parent_precedence < _UNARY_PRECEDENCE \
+            else f"({text})"
+    if isinstance(expr, ast.UnaryOp):
+        operand = format_expr(expr.operand, _UNARY_PRECEDENCE)
+        spacer = " " if expr.op == "not" else ""
+        text = f"{expr.op}{spacer}{operand}"
+        return text if parent_precedence < _UNARY_PRECEDENCE \
+            else f"({text})"
+    if isinstance(expr, ast.BinOp):
+        precedence = _PRECEDENCE.get(expr.op)
+        if precedence is None:
+            raise PrinterError(f"unknown operator {expr.op!r}")
+        left = format_expr(expr.left, precedence - 1)
+        # Right operand binds one tighter: the parser is left-associative.
+        right = format_expr(expr.right, precedence)
+        text = f"{left} {expr.op} {right}"
+        return text if parent_precedence < precedence else f"({text})"
+    if isinstance(expr, ast.ListLit):
+        return "[" + ", ".join(format_expr(i) for i in expr.items) + "]"
+    if isinstance(expr, ast.StructLit):
+        fields = ", ".join(f".{name} = {format_expr(value)}"
+                           for name, value in expr.fields)
+        return f"{expr.struct} {{ {fields} }}"
+    raise PrinterError(f"cannot print expression {type(expr).__name__}")
+
+
+def _format_literal(value) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"') \
+            .replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+def _format_stmt(stmt: ast.Stmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.VarDecl):
+        prefix = "external " if stmt.external else ""
+        init = f" = {format_expr(stmt.init)}" if stmt.init is not None else ""
+        return [f"{pad}{prefix}{stmt.typ} {stmt.name}{init};"]
+    if isinstance(stmt, ast.Assign):
+        target = stmt.target
+        if stmt.fieldname is not None:
+            target = f"{target}.{stmt.fieldname}"
+        return [f"{pad}{target} = {format_expr(stmt.value)};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({format_expr(stmt.cond)}) then {{"]
+        lines += _format_block(stmt.then_body, depth + 1)
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            lines += _format_block(stmt.else_body, depth + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({format_expr(stmt.cond)}) {{"]
+        lines += _format_block(stmt.body, depth + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {format_expr(stmt.value)};"]
+    if isinstance(stmt, ast.Transit):
+        return [f"{pad}transit {stmt.state};"]
+    if isinstance(stmt, ast.Send):
+        dest = "harvester"
+        if stmt.dest_machine:
+            dest = stmt.dest_machine
+            if stmt.dest_host is not None:
+                dest += f" @ {format_expr(stmt.dest_host)}"
+        return [f"{pad}send {format_expr(stmt.value)} to {dest};"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{format_expr(stmt.expr)};"]
+    raise PrinterError(f"cannot print statement {type(stmt).__name__}")
+
+
+def _format_block(statements, depth: int) -> List[str]:
+    lines: List[str] = []
+    for stmt in statements:
+        lines += _format_stmt(stmt, depth)
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+def _format_trigger(trigger: ast.Trigger) -> str:
+    if isinstance(trigger, ast.EnterTrigger):
+        return "enter"
+    if isinstance(trigger, ast.ExitTrigger):
+        return "exit"
+    if isinstance(trigger, ast.ReallocTrigger):
+        return "realloc"
+    if isinstance(trigger, ast.VarTrigger):
+        return trigger.var + (f" as {trigger.bind}" if trigger.bind else "")
+    if isinstance(trigger, ast.RecvTrigger):
+        source = "harvester"
+        if trigger.source:
+            source = trigger.source
+            if trigger.source_host is not None:
+                source += f" @ {format_expr(trigger.source_host)}"
+        return f"recv {trigger.pat_type} {trigger.pat_name} from {source}"
+    raise PrinterError(f"cannot print trigger {type(trigger).__name__}")
+
+
+def _format_event(event: ast.Event, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    lines = [f"{pad}when ({_format_trigger(event.trigger)}) do {{"]
+    lines += _format_block(event.actions, depth + 1)
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def _format_placement(placement: ast.Placement, depth: int) -> str:
+    pad = _INDENT * depth
+    parts = ["place", placement.quantifier]
+    if placement.switch_exprs:
+        parts.append(", ".join(format_expr(e)
+                               for e in placement.switch_exprs))
+    elif placement.range_spec is not None:
+        spec = placement.range_spec
+        parts.append(spec.anchor)
+        if spec.path_filter is not None:
+            parts.append(f"({format_expr(spec.path_filter)})")
+        parts.append(f"range {spec.op} {format_expr(spec.distance)}")
+    return f"{pad}{' '.join(parts)};"
+
+
+def _format_state(state: ast.StateDecl, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    lines = [f"{pad}state {state.name} {{"]
+    for decl in state.var_decls:
+        lines += _format_stmt(decl, depth + 1)
+    if state.util is not None:
+        lines.append(f"{pad}{_INDENT}util ({state.util.param}) {{")
+        lines += _format_block(state.util.body, depth + 2)
+        lines.append(f"{pad}{_INDENT}}}")
+    for event in state.events:
+        lines += _format_event(event, depth + 1)
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def format_machine(machine: ast.MachineDecl) -> str:
+    """Render one machine declaration."""
+    header = f"machine {machine.name}"
+    if machine.extends:
+        header += f" extends {machine.extends}"
+    lines = [header + " {"]
+    for placement in machine.placements:
+        lines.append(_format_placement(placement, 1))
+    for decl in machine.var_decls:
+        lines += _format_stmt(decl, 1)
+    for state in machine.states:
+        lines += _format_state(state, 1)
+    for event in machine.events:
+        lines += _format_event(event, 1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_function(function: ast.FunctionDecl) -> str:
+    params = ", ".join(f"{typ} {name}" for typ, name in function.params)
+    lines = [f"function {function.return_type} {function.name}({params}) {{"]
+    lines += _format_block(function.body, 1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_struct(struct: ast.StructDecl) -> str:
+    lines = [f"struct {struct.name} {{"]
+    for typ, name in struct.fields:
+        lines.append(f"{_INDENT}{typ} {name};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: ast.Program) -> str:
+    """Render a whole program in canonical form."""
+    chunks: List[str] = []
+    for struct in program.structs:
+        chunks.append(format_struct(struct))
+    for function in program.functions:
+        chunks.append(format_function(function))
+    for machine in program.machines:
+        chunks.append(format_machine(machine))
+    return "\n\n".join(chunks) + "\n"

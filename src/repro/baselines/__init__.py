@@ -1,0 +1,22 @@
+"""Baseline monitoring systems reimplemented on the same switch emulator."""
+
+from repro.baselines.sflow import (
+    SflowAgent,
+    SflowCollector,
+    SflowDeployment,
+)
+from repro.baselines.sonata import (
+    NewtonDeployment,
+    SonataDeployment,
+    SonataQuery,
+    SonataSwitchPipeline,
+    SparkStreamingCollector,
+)
+from repro.baselines.specialized import HeliosMonitor, PlanckMonitor
+
+__all__ = [
+    "SflowAgent", "SflowCollector", "SflowDeployment",
+    "NewtonDeployment", "SonataDeployment", "SonataQuery",
+    "SonataSwitchPipeline", "SparkStreamingCollector",
+    "HeliosMonitor", "PlanckMonitor",
+]

@@ -1,0 +1,112 @@
+"""Specialized link-utilization monitors: Planck [11] and Helios [17].
+
+Both are closed systems built on bespoke hardware paths, so they are
+modeled from their published mechanisms (the substitution DESIGN.md
+documents).  Only their detection pipeline is needed — Tab. 4 compares
+detection latency on the same HH scenario.
+
+* **Planck** mirrors traffic through an oversubscribed mirror port to a
+  collector doing line-rate sampling; detection latency is dominated by
+  filling one sampling epoch plus collector processing — milliseconds
+  (the paper reports 4 ms at 10 Gbps).
+* **Helios** polls transceiver byte counters from its topology manager on
+  a fixed schedule; its published pooling interval yields ~77 ms
+  end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.sim.engine import Simulator
+from repro.switchsim.chassis import Switch
+from repro.switchsim.stratum import SwitchDriver
+
+
+class PlanckMonitor:
+    """Mirror-port sampling with a fast collector.
+
+    Every sampling epoch the mirror port delivers a sample batch; the
+    collector needs ``epochs_to_confirm`` consecutive heavy epochs to
+    announce (Planck's noise rejection), then spends ``processing_s``.
+    """
+
+    def __init__(self, sim: Simulator, switch: Switch, driver: SwitchDriver,
+                 hh_threshold_bps: float,
+                 epoch_s: float = 0.0012,
+                 epochs_to_confirm: int = 2,
+                 processing_s: float = 0.0015) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.driver = driver
+        self.hh_threshold_bps = hh_threshold_bps
+        self.epoch_s = epoch_s
+        self.epochs_to_confirm = epochs_to_confirm
+        self.processing_s = processing_s
+        self._streak: dict = {}
+        self.detections: List[Tuple[float, int]] = []
+        self._detected: Set[int] = set()
+        sim.every(epoch_s, self._epoch, label=f"planck@{switch.switch_id}")
+        # The mirror port continuously shovels samples; that is Planck's
+        # design cost (a dedicated oversubscribed port, not the PCIe bus).
+        self.samples_processed = 0
+
+    def _epoch(self) -> None:
+        # Mirror-port samples bypass the PCIe bottleneck by design: read
+        # rates directly (the collector sees line-rate samples).
+        for port in self.switch.asic.ports_with_traffic():
+            stats = self.switch.asic.read_port_stats(port)
+            self.samples_processed += 1
+            if stats.rate_bps >= self.hh_threshold_bps:
+                streak = self._streak.get(port, 0) + 1
+                self._streak[port] = streak
+                if streak >= self.epochs_to_confirm \
+                        and port not in self._detected:
+                    self._detected.add(port)
+                    self.sim.schedule(
+                        self.processing_s, self._announce, port)
+            else:
+                self._streak[port] = 0
+                self._detected.discard(port)
+
+    def _announce(self, port: int) -> None:
+        self.detections.append((self.sim.now, port))
+
+    def first_detection_time(self) -> Optional[float]:
+        return self.detections[0][0] if self.detections else None
+
+
+class HeliosMonitor:
+    """Topology-manager counter pooling on Helios' published schedule."""
+
+    def __init__(self, sim: Simulator, switch: Switch, driver: SwitchDriver,
+                 hh_threshold_bps: float,
+                 pooling_interval_s: float = 0.100,
+                 decision_s: float = 0.027) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.driver = driver
+        self.hh_threshold_bps = hh_threshold_bps
+        self.decision_s = decision_s
+        self.detections: List[Tuple[float, int]] = []
+        self._detected: Set[int] = set()
+        sim.every(pooling_interval_s, self._pool,
+                  label=f"helios@{switch.switch_id}")
+
+    def _pool(self) -> None:
+        stats, latency = self.driver.read_port_counters()
+        for stat in stats:
+            if stat.rate_bps >= self.hh_threshold_bps:
+                if stat.port not in self._detected:
+                    self._detected.add(stat.port)
+                    self.sim.schedule(latency + self.decision_s,
+                                      self._announce, stat.port)
+            else:
+                self._detected.discard(stat.port)
+
+    def _announce(self, port: int) -> None:
+        self.detections.append((self.sim.now, port))
+
+    def first_detection_time(self) -> Optional[float]:
+        return self.detections[0][0] if self.detections else None

@@ -1,0 +1,198 @@
+"""Communication services and their cost models (SV, SVI-E).
+
+Three communication paths exist in FARM:
+
+* **seed <-> soil** — on-switch.  Two schemes are implemented, matching
+  SV-A-b: gRPC (latency grows linearly with the number of deployed seeds,
+  Fig. 10) and a shared-memory buffer usable when seeds run as threads of
+  the soil process (near-constant latency).  The original system measured
+  this; here the models encode the measured *shapes* with first-principles
+  parameters (per-message marshalling cost x queued messages for gRPC).
+* **soil/seed <-> seeder/harvester** — off-switch control traffic via a
+  RabbitMQ-like :class:`ControlBus` with in-DC delivery latency.
+* **seed <-> seed** — routed through the soils' communication services
+  over the same bus.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CommError
+from repro.sim.engine import Simulator
+from repro.switchsim.cpu import CONTEXT_SWITCH_COST_S
+
+
+class ExecutionMode(Enum):
+    """How seeds execute on the switch (SV-A-b)."""
+
+    THREAD = "thread"    # seeds are threads of the soil process
+    PROCESS = "process"  # seeds are isolated processes
+
+
+class CommScheme(Enum):
+    """Seed <-> soil communication scheme."""
+
+    SHARED_BUFFER = "shared_buffer"
+    GRPC = "grpc"
+
+
+@dataclass(frozen=True)
+class SoilCommConfig:
+    """Execution + communication configuration of one soil."""
+
+    execution_mode: ExecutionMode = ExecutionMode.THREAD
+    comm_scheme: CommScheme = CommScheme.SHARED_BUFFER
+    aggregation: bool = True  # soil-side polling aggregation
+
+    def __post_init__(self) -> None:
+        if (self.comm_scheme is CommScheme.SHARED_BUFFER
+                and self.execution_mode is ExecutionMode.PROCESS):
+            raise CommError(
+                "the shared buffer requires seeds to run as threads of the "
+                "soil (SV-A-b)")
+
+
+# Model parameters (calibrated to reproduce the Fig. 9/10 shapes).
+GRPC_BASE_LATENCY_S = 60e-6        # one marshal/unmarshal round
+GRPC_PER_SEED_LATENCY_S = 14e-6    # queueing behind other seeds' channels
+SHARED_BUFFER_LATENCY_S = 2e-6     # one cache-coherent ring-buffer hop
+GRPC_CPU_PER_MSG_S = 25e-6         # protobuf encode/decode CPU
+SHARED_BUFFER_CPU_PER_MSG_S = 1e-6
+
+
+def seed_soil_latency(config: SoilCommConfig, num_seeds: int) -> float:
+    """One-way seed<->soil message latency given the deployment size."""
+    if num_seeds < 0:
+        raise CommError(f"negative seed count: {num_seeds}")
+    if config.comm_scheme is CommScheme.GRPC:
+        return GRPC_BASE_LATENCY_S + GRPC_PER_SEED_LATENCY_S * num_seeds
+    return SHARED_BUFFER_LATENCY_S
+
+
+def seed_soil_cpu_cost(config: SoilCommConfig) -> Tuple[float, int]:
+    """(cpu-seconds, context switches) charged per seed<->soil message."""
+    if config.comm_scheme is CommScheme.GRPC:
+        cpu = GRPC_CPU_PER_MSG_S
+    else:
+        cpu = SHARED_BUFFER_CPU_PER_MSG_S
+    switches = 2 if config.execution_mode is ExecutionMode.PROCESS else 0
+    return cpu, switches
+
+
+# ---------------------------------------------------------------------------
+# Control bus (RabbitMQ substitute)
+# ---------------------------------------------------------------------------
+
+#: Broker hop + in-DC network latency for one control message.
+BUS_BASE_LATENCY_S = 250e-6
+#: Serialization cost per KB of payload.
+BUS_PER_KB_LATENCY_S = 8e-6
+
+
+@dataclass
+class BusMessage:
+    """One delivered control-plane message (also the audit record)."""
+
+    msg_id: int
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    sent_at: float
+    delivered_at: float
+
+
+class ControlBus:
+    """Topic-less named-endpoint message bus with delivery latency.
+
+    Endpoints register a handler; :meth:`send` schedules delivery on the
+    simulator.  All traffic is recorded so benchmarks can account network
+    load (Fig. 4 counts control-plane bytes).
+    """
+
+    #: Bound on the retained delivery history; aggregate counters
+    #: (total_bytes / total_messages) are exact regardless.  High-rate
+    #: collection baselines (sFlow at 1 ms over hundreds of ports) push
+    #: millions of messages — keeping them all would eat the heap.
+    HISTORY_LIMIT = 100_000
+
+    def __init__(self, sim: Simulator,
+                 base_latency_s: float = BUS_BASE_LATENCY_S) -> None:
+        from collections import deque
+        self.sim = sim
+        self.base_latency_s = base_latency_s
+        self._handlers: Dict[str, Callable[[BusMessage], None]] = {}
+        self._ids = itertools.count(1)
+        self.delivered: "deque[BusMessage]" = deque(maxlen=self.HISTORY_LIMIT)
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    def register(self, endpoint: str,
+                 handler: Callable[[BusMessage], None]) -> None:
+        if endpoint in self._handlers:
+            raise CommError(f"endpoint {endpoint!r} already registered")
+        self._handlers[endpoint] = handler
+
+    def unregister(self, endpoint: str) -> None:
+        self._handlers.pop(endpoint, None)
+
+    def is_registered(self, endpoint: str) -> bool:
+        return endpoint in self._handlers
+
+    def send(self, src: str, dst: str, payload: Any,
+             size_bytes: int = 256,
+             extra_latency_s: float = 0.0) -> BusMessage:
+        """Queue a message; returns the (not yet delivered) record."""
+        if dst not in self._handlers:
+            raise CommError(f"unknown bus endpoint {dst!r}")
+        latency = (self.base_latency_s + extra_latency_s
+                   + BUS_PER_KB_LATENCY_S * (size_bytes / 1024.0))
+        message = BusMessage(
+            msg_id=next(self._ids), src=src, dst=dst, payload=payload,
+            size_bytes=size_bytes, sent_at=self.sim.now,
+            delivered_at=self.sim.now + latency)
+        self.sim.schedule(latency, self._deliver, message,
+                          label=f"bus {src}->{dst}")
+        return message
+
+    def _deliver(self, message: BusMessage) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is None:
+            return  # endpoint vanished (seed undeployed mid-flight)
+        self.delivered.append(message)
+        self.total_bytes += message.size_bytes
+        self.total_messages += 1
+        handler(message)
+
+    # -- accounting --------------------------------------------------------
+    def messages_between(self, t0: float, t1: float) -> List[BusMessage]:
+        return [m for m in self.delivered if t0 <= m.delivered_at <= t1]
+
+    def bytes_per_second(self, horizon: Optional[float] = None) -> float:
+        elapsed = horizon if horizon is not None else self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self.total_bytes / elapsed
+
+
+def estimate_size_bytes(payload: Any) -> int:
+    """Rough wire size of a control message payload."""
+    if payload is None:
+        return 64
+    if isinstance(payload, bool):
+        return 65
+    if isinstance(payload, (int, float)):
+        return 72
+    if isinstance(payload, str):
+        return 64 + len(payload)
+    if isinstance(payload, (list, tuple)):
+        return 64 + sum(estimate_size_bytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return 64 + sum(
+            estimate_size_bytes(k) + estimate_size_bytes(v)
+            for k, v in payload.items())
+    return 256

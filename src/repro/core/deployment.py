@@ -1,0 +1,55 @@
+"""One-call wiring of a complete FARM deployment.
+
+Bundles simulator, topology, SDN controller, emulated switch fleet,
+control bus, and seeder — the boilerplate every example, test, and
+benchmark would otherwise repeat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.comm import ControlBus, SoilCommConfig
+from repro.core.seeder import Seeder
+from repro.core.soil import Soil
+from repro.net.controller import SdnController
+from repro.net.topology import Topology, spine_leaf
+from repro.net.traffic import Workload
+from repro.sim.engine import Simulator
+from repro.switchsim.chassis import ACCTON_AS5712, SwitchFleet, SwitchModel
+
+
+class FarmDeployment:
+    """A running FARM instance over an emulated data center."""
+
+    def __init__(self, topology: Optional[Topology] = None,
+                 switch_model: SwitchModel = ACCTON_AS5712,
+                 soil_config: Optional[SoilCommConfig] = None,
+                 solver: str = "heuristic") -> None:
+        self.sim = Simulator()
+        self.topology = topology if topology is not None else spine_leaf()
+        self.controller = SdnController(self.topology)
+        self.fleet = SwitchFleet.for_topology(self.sim, self.topology,
+                                              model=switch_model)
+        self.bus = ControlBus(self.sim)
+        self.seeder = Seeder(self.sim, self.controller, self.fleet, self.bus,
+                             soil_config=soil_config, solver=solver)
+
+    # -- convenience ---------------------------------------------------
+    def soil(self, switch_id: int) -> Soil:
+        return self.seeder.soils[switch_id]
+
+    def start_workload(self, workload: Workload, switch_id: int) -> Workload:
+        """Attach a workload's flows to one switch's ASIC."""
+        workload.start(self.sim, self.fleet.get(switch_id).asic)
+        return workload
+
+    def run(self, until: float) -> float:
+        return self.sim.run(until=until)
+
+    def submit(self, definition, reoptimize: bool = True):
+        return self.seeder.submit(definition, reoptimize=reoptimize)
+
+    def settle(self, duration: float = 0.01) -> None:
+        """Let deploy commands land (they have control-plane latency)."""
+        self.sim.run(until=self.sim.now + duration)

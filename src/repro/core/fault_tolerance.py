@@ -1,0 +1,196 @@
+"""Fault tolerance for FARM (the SVIII "avenues for future work" item).
+
+Three mechanisms, composable and individually testable:
+
+* **Heartbeats + failure detection** — every soil emits a periodic
+  heartbeat on the control bus; the :class:`FaultToleranceManager` marks
+  a switch failed after ``miss_limit`` silent periods.
+* **Checkpointing** — the manager periodically snapshots every deployed
+  seed's inner state (the same serialization migration uses).
+* **Failover** — when a switch fails, its capacity is removed from the
+  placement problem and the optimizer re-places the displaced seeds on
+  the survivors, restoring each from its last checkpoint; seeds whose
+  only candidate was the failed switch (``place all`` pins) are parked
+  until the switch recovers.
+
+Seed-level crash containment lives in :class:`repro.core.soil.Soil` via
+``crash_policy`` ("propagate" by default; "restart" re-instantiates a
+seed that threw, up to ``max_seed_crashes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set
+
+from repro.core.comm import BusMessage, ControlBus
+from repro.core.seeder import Seeder
+from repro.errors import DeploymentError
+from repro.sim.engine import PeriodicTimer, Simulator
+
+HEARTBEAT_ENDPOINT = "seeder/heartbeats"
+
+
+@dataclass
+class SwitchHealth:
+    switch_id: int
+    last_heartbeat: float
+    missed: int = 0
+    failed: bool = False
+    failed_at: Optional[float] = None
+
+
+class FaultToleranceManager:
+    """Watches soils, checkpoints seeds, and drives failover."""
+
+    def __init__(self, seeder: Seeder,
+                 heartbeat_interval_s: float = 0.5,
+                 miss_limit: int = 3,
+                 checkpoint_interval_s: float = 1.0) -> None:
+        if miss_limit < 1:
+            raise DeploymentError("miss_limit must be at least 1")
+        self.seeder = seeder
+        self.sim: Simulator = seeder.sim
+        self.bus: ControlBus = seeder.bus
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.miss_limit = miss_limit
+        self.health: Dict[int, SwitchHealth] = {}
+        self.checkpoints: Dict[str, Dict[str, Any]] = {}
+        self.failovers_performed = 0
+        #: seed ids displaced by a failure with nowhere to go.
+        self.parked_seeds: Set[str] = set()
+        self.bus.register(HEARTBEAT_ENDPOINT, self._on_heartbeat)
+        self._timers: List[PeriodicTimer] = []
+        for switch_id, soil in seeder.soils.items():
+            self.health[switch_id] = SwitchHealth(
+                switch_id, last_heartbeat=self.sim.now)
+            self._timers.append(self.sim.every(
+                heartbeat_interval_s, self._emit_heartbeat, switch_id,
+                label=f"heartbeat sw{switch_id}"))
+        self._timers.append(self.sim.every(
+            heartbeat_interval_s, self._check_health,
+            start_after=heartbeat_interval_s * 1.5, label="ft-check"))
+        self._timers.append(self.sim.every(
+            checkpoint_interval_s, self._checkpoint_all, label="ft-ckpt"))
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def _emit_heartbeat(self, switch_id: int) -> None:
+        soil = self.seeder.soils.get(switch_id)
+        if soil is None or getattr(soil, "failed", False):
+            return  # a failed switch is silent — that is the signal
+        self.bus.send(f"soil/{switch_id}", HEARTBEAT_ENDPOINT,
+                      {"switch": switch_id, "seeds": soil.num_seeds},
+                      size_bytes=96)
+
+    def _on_heartbeat(self, message: BusMessage) -> None:
+        payload = message.payload
+        health = self.health.get(int(payload["switch"]))
+        if health is None:
+            return
+        health.last_heartbeat = self.sim.now
+        health.missed = 0
+        if health.failed:
+            self._handle_recovery(health)
+
+    def _check_health(self) -> None:
+        deadline = self.heartbeat_interval_s * 1.5
+        for health in self.health.values():
+            if health.failed:
+                continue
+            if self.sim.now - health.last_heartbeat > deadline:
+                health.missed += 1
+                health.last_heartbeat = self.sim.now  # count per period
+                if health.missed >= self.miss_limit:
+                    self._handle_failure(health)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_all(self) -> None:
+        for switch_id, soil in self.seeder.soils.items():
+            if getattr(soil, "failed", False):
+                continue
+            for seed_id in list(soil.deployments):
+                self.checkpoints[seed_id] = soil.snapshot_seed(seed_id)
+
+    def checkpoint_of(self, seed_id: str) -> Optional[Dict[str, Any]]:
+        return self.checkpoints.get(seed_id)
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def _handle_failure(self, health: SwitchHealth) -> None:
+        health.failed = True
+        health.failed_at = self.sim.now
+        switch_id = health.switch_id
+        self.seeder.failed_switches.add(switch_id)
+        self.failovers_performed += 1
+        # Displace the failed switch's seeds: they are gone; the seeder's
+        # bookkeeping must reflect that before re-optimizing.
+        displaced: List = []
+        for task in self.seeder.tasks.values():
+            for seed in task.seeds:
+                if seed.switch == switch_id:
+                    seed.switch = None
+                    seed.allocation = {}
+                    displaced.append(seed)
+        # Seeds that can only ever live on the dead switch are parked.
+        for seed in displaced:
+            alive = [n for n in seed.candidates
+                     if n not in self.seeder.failed_switches]
+            if not alive:
+                self.parked_seeds.add(seed.seed_id)
+        # Re-place everything on the survivors, restoring checkpoints.
+        self._redeploy_with_checkpoints()
+
+    def _handle_recovery(self, health: SwitchHealth) -> None:
+        """A failed switch heartbeats again: return it to the pool."""
+        health.failed = False
+        health.missed = 0
+        self.seeder.failed_switches.discard(health.switch_id)
+        recovered = {seed_id for seed_id in self.parked_seeds}
+        self.parked_seeds.clear()
+        if recovered or True:
+            self._redeploy_with_checkpoints()
+
+    def _redeploy_with_checkpoints(self) -> None:
+        snapshots = dict(self.checkpoints)
+        self.seeder.reoptimize(restore_snapshots=snapshots)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        for timer in self._timers:
+            timer.stop()
+        self.bus.unregister(HEARTBEAT_ENDPOINT)
+
+    # -- test/ops hooks -----------------------------------------------
+    def alive_switches(self) -> List[int]:
+        return sorted(h.switch_id for h in self.health.values()
+                      if not h.failed)
+
+    def failed_switch_ids(self) -> List[int]:
+        return sorted(h.switch_id for h in self.health.values() if h.failed)
+
+
+def fail_switch(seeder: Seeder, switch_id: int) -> None:
+    """Test/ops helper: silence a switch as a crash would.
+
+    The soil stops heartbeating and processing; deployed seed objects are
+    lost (only checkpoints survive), exactly like a power failure.
+    """
+    soil = seeder.soils[switch_id]
+    soil.failed = True
+    for deployment in list(soil.deployments.values()):
+        for timer in deployment.timers.values():
+            timer.stop()
+        soil.bus.unregister(f"seed/{switch_id}/{deployment.seed_id}")
+    soil.deployments.clear()
+    soil.switch.cpu._standing.clear()
+    soil.switch.pcie.unregister_poller("soil")
+
+
+def recover_switch(seeder: Seeder, switch_id: int) -> None:
+    """Bring a previously failed switch back (heartbeats resume)."""
+    seeder.soils[switch_id].failed = False

@@ -1,0 +1,427 @@
+"""The seeder: FARM's centralized M&M control instance (SII-C-b).
+
+The seeder compiles submitted Almanac tasks, resolves placement against
+the SDN controller, runs the global placement optimizer, and reconciles
+the network to the optimizer's output: deploying, reallocating, migrating,
+and undeploying seeds.  It also provides the routing fabric for
+seed <-> seed and harvester <-> seed messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.almanac.analysis import encode_polling_subjects
+from repro.almanac.compiler import MachineBlueprint, compile_machine
+from repro.almanac.parser import parse
+from repro.almanac.poly import LinPoly
+from repro.errors import DeploymentError
+from repro.net.controller import SdnController
+from repro.placement.heuristic import solve_heuristic
+from repro.placement.milp import solve_milp
+from repro.placement.model import (
+    PlacementProblem,
+    PlacementSolution,
+    PollDemand,
+    SeedSpec,
+    TaskSpec,
+)
+from repro.core.comm import ControlBus, SoilCommConfig, estimate_size_bytes
+from repro.core.soil import Soil
+from repro.core.task import TaskDefinition
+from repro.sim.engine import Simulator
+from repro.switchsim.chassis import RESOURCE_TYPES, SwitchFleet
+from repro.switchsim.stratum import driver_for
+
+#: Control latency for a deploy command reaching a soil.
+DEPLOY_LATENCY_S = 1e-3
+
+#: State-transfer bandwidth between switches during migration (B/s).
+MIGRATION_BANDWIDTH_BPS = 12.5e6
+
+#: Fixed overhead per migration (snapshot + resume bookkeeping).
+MIGRATION_OVERHEAD_S = 2e-3
+
+
+@dataclass
+class ManagedSeed:
+    """The seeder's bookkeeping for one logical seed."""
+
+    seed_id: str
+    task_id: str
+    machine_name: str
+    blueprint: MachineBlueprint
+    candidates: Tuple[int, ...]
+    event_cpu_s: float
+    switch: Optional[int] = None  # None until deployed
+    allocation: Dict[str, float] = field(default_factory=dict)
+    current_state: str = ""
+    migrating: bool = False
+
+
+@dataclass
+class ActiveTask:
+    definition: TaskDefinition
+    blueprints: Dict[str, MachineBlueprint]
+    seeds: List[ManagedSeed]
+
+
+class Seeder:
+    """Central control: task lifecycle + global placement."""
+
+    def __init__(self, sim: Simulator, controller: SdnController,
+                 fleet: SwitchFleet, bus: ControlBus,
+                 soil_config: Optional[SoilCommConfig] = None,
+                 solver: str = "heuristic",
+                 resource_types=RESOURCE_TYPES,
+                 milp_time_limit_s: float = 10.0) -> None:
+        if solver not in ("heuristic", "milp"):
+            raise DeploymentError(f"unknown solver {solver!r}")
+        self.sim = sim
+        self.controller = controller
+        self.fleet = fleet
+        self.bus = bus
+        self.solver = solver
+        self.milp_time_limit_s = milp_time_limit_s
+        self.resource_types = tuple(resource_types)
+        self.soils: Dict[int, Soil] = {}
+        for switch in fleet:
+            soil = Soil(sim, switch, driver_for(switch), bus,
+                        config=soil_config, resource_types=resource_types)
+            soil.seed_message_router = self._route_seed_message
+            soil.add_transition_listener(self._make_transition_listener(soil))
+            self.soils[switch.switch_id] = soil
+        self.tasks: Dict[str, ActiveTask] = {}
+        #: Switches currently considered dead (fault-tolerance manager);
+        #: they contribute no capacity and host no seeds.
+        self.failed_switches: set = set()
+        self.optimizations_run = 0
+        self.migrations_performed = 0
+        self.last_solution: Optional[PlacementSolution] = None
+        bus.register("seeder", lambda msg: None)
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, definition: TaskDefinition,
+               reoptimize: bool = True) -> ActiveTask:
+        """Compile and register a task; optionally place it immediately."""
+        if definition.task_id in self.tasks:
+            raise DeploymentError(
+                f"task {definition.task_id!r} already submitted")
+        program = parse(definition.source)
+        # Static semantic validation before anything is shipped to a soil.
+        from repro.almanac.typecheck import assert_well_formed
+        assert_well_formed(program)
+        blueprints: Dict[str, MachineBlueprint] = {}
+        seeds: List[ManagedSeed] = []
+        for config in definition.machines:
+            blueprint = compile_machine(
+                program, config.machine_name, self.controller,
+                externals=config.externals,
+                resource_names=self.resource_types)
+            blueprints[config.machine_name] = blueprint
+            for index, site in enumerate(blueprint.sites):
+                seed_id = (f"{definition.task_id}/"
+                           f"{config.machine_name}#{index}")
+                seeds.append(ManagedSeed(
+                    seed_id=seed_id, task_id=definition.task_id,
+                    machine_name=config.machine_name, blueprint=blueprint,
+                    candidates=site.switches,
+                    event_cpu_s=config.event_cpu_s,
+                    current_state=blueprint.initial_state))
+        task = ActiveTask(definition=definition, blueprints=blueprints,
+                          seeds=seeds)
+        self.tasks[definition.task_id] = task
+        if definition.harvester is not None:
+            definition.harvester.attach(self.sim, self.bus,
+                                        definition.task_id, self)
+        if reoptimize:
+            self.reoptimize()
+        return task
+
+    def remove_task(self, task_id: str, reoptimize: bool = True) -> None:
+        task = self.tasks.pop(task_id, None)
+        if task is None:
+            raise DeploymentError(f"unknown task {task_id!r}")
+        for seed in task.seeds:
+            if self._is_live(seed):
+                self.soils[seed.switch].undeploy(seed.seed_id)
+            seed.switch = None
+        if task.definition.harvester is not None:
+            task.definition.harvester.detach()
+        if reoptimize and self.tasks:
+            self.reoptimize()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def build_problem(self) -> PlacementProblem:
+        """Snapshot all active tasks into one optimization problem.
+
+        Each seed's utility is that of its *current* state — a seed sitting
+        in a high-utility alarm state is worth keeping resourced.
+        """
+        task_specs: List[TaskSpec] = []
+        previous_placement: Dict[str, int] = {}
+        previous_allocations: Dict[str, Dict[str, float]] = {}
+        for task in self.tasks.values():
+            specs: List[SeedSpec] = []
+            for seed in task.seeds:
+                # A failed switch contributes neither capacity nor
+                # candidates; a seed pinned exclusively to dead switches
+                # is parked (excluded) rather than sinking its whole task
+                # -- availability over strict C1 during failures.
+                alive = tuple(n for n in seed.candidates
+                              if n not in self.failed_switches)
+                if not alive:
+                    continue
+                utility = seed.blueprint.utility_for_state(
+                    seed.current_state or seed.blueprint.initial_state)
+                demands = self._poll_demands(seed)
+                specs.append(SeedSpec(
+                    seed_id=seed.seed_id, task_id=seed.task_id,
+                    candidates=alive, utility=utility,
+                    poll_demands=demands))
+                if seed.switch is not None                         and seed.switch not in self.failed_switches:
+                    previous_placement[seed.seed_id] = seed.switch
+                    previous_allocations[seed.seed_id] = dict(seed.allocation)
+            if specs:
+                task_specs.append(TaskSpec(
+                    task_id=task.definition.task_id, seeds=specs,
+                    mandatory=task.definition.mandatory))
+        available = {
+            switch.switch_id: switch.available_resources()
+            for switch in self.fleet
+            if switch.switch_id not in self.failed_switches}
+        # alpha_poll converts polling demand (subjects/s) into PCIe units
+        # (KB/s): one counter read moves BYTES_PER_COUNTER bytes (SIV-B-b's
+        # architecture-dependent coefficient).
+        from repro.switchsim.chassis import PCIE_UNIT_BPS
+        from repro.switchsim.pcie import BYTES_PER_COUNTER
+        alpha = {switch.switch_id: BYTES_PER_COUNTER / PCIE_UNIT_BPS
+                 for switch in self.fleet}
+        return PlacementProblem(
+            tasks=task_specs, available=available,
+            resource_types=self.resource_types,
+            alpha_poll=alpha,
+            previous_placement=previous_placement,
+            previous_allocations=previous_allocations)
+
+    def _poll_demands(self, seed: ManagedSeed) -> Tuple[PollDemand, ...]:
+        demands = []
+        num_ports = self._reference_num_ports(seed)
+        for info in seed.blueprint.poll_vars:
+            if info.kind == "time":
+                continue
+            subjects = encode_polling_subjects(info.what, num_ports)
+            try:
+                inv = info.ival.inverse_linear()
+            except Exception:
+                # Non-linear inverse: pin to the interval at zero resources.
+                interval = max(info.ival.evaluate(
+                    {r: 0.0 for r in self.resource_types}), 1e-3)
+                inv = LinPoly.constant(1.0 / interval)
+            demands.append(PollDemand(subject=subjects, inv_interval=inv,
+                                      weight=float(max(len(subjects), 1))))
+        return tuple(demands)
+
+    def _reference_num_ports(self, seed: ManagedSeed) -> int:
+        switch = self.fleet.get(seed.candidates[0])
+        return switch.asic.num_ports
+
+    def reoptimize(self, restore_snapshots: Optional[Mapping[str, Any]]
+                   = None) -> PlacementSolution:
+        """Run the global placement optimizer and reconcile the network.
+
+        ``restore_snapshots`` maps seed ids to checkpointed inner state:
+        a seed deployed fresh by this reconciliation resumes from its
+        snapshot instead of restarting (fault-tolerance failover).
+        """
+        problem = self.build_problem()
+        if self.solver == "milp":
+            solution = solve_milp(problem,
+                                  time_limit_s=self.milp_time_limit_s)
+        else:
+            solution = solve_heuristic(problem)
+        self.optimizations_run += 1
+        self.last_solution = solution
+        self._reconcile(solution, restore_snapshots or {})
+        return solution
+
+    # ------------------------------------------------------------------
+    # Reconciliation
+    # ------------------------------------------------------------------
+    def _is_live(self, seed: ManagedSeed) -> bool:
+        """Is the seed actually running on its soil (deploy landed)?"""
+        return (seed.switch is not None
+                and seed.seed_id in self.soils[seed.switch].deployments)
+
+    def _reconcile(self, solution: PlacementSolution,
+                   restore_snapshots: Optional[Mapping[str, Any]] = None
+                   ) -> None:
+        restore_snapshots = restore_snapshots or {}
+        for task in self.tasks.values():
+            for seed in task.seeds:
+                target = solution.placement.get(seed.seed_id)
+                allocation = solution.allocations.get(seed.seed_id, {})
+                if target is None:
+                    if self._is_live(seed):
+                        self.soils[seed.switch].undeploy(seed.seed_id)
+                    seed.switch = None
+                    seed.allocation = {}
+                elif seed.switch is None:
+                    self._deploy(task, seed, target, allocation,
+                                 snapshot=restore_snapshots.get(
+                                     seed.seed_id))
+                elif seed.switch != target:
+                    if self._is_live(seed):
+                        self._migrate(task, seed, target, allocation)
+                    else:
+                        # Deploy command still in flight: redirect it (the
+                        # deferred deploy reads seed.switch at fire time).
+                        seed.switch = target
+                        seed.allocation = dict(allocation)
+                else:
+                    if not _alloc_close(seed.allocation, allocation):
+                        seed.allocation = dict(allocation)
+                        if self._is_live(seed):
+                            self.soils[target].reallocate(seed.seed_id,
+                                                          allocation)
+
+    def _deploy(self, task: ActiveTask, seed: ManagedSeed, target: int,
+                allocation: Mapping[str, float],
+                snapshot: Optional[Mapping[str, Any]] = None) -> None:
+        config = next(c for c in task.definition.machines
+                      if c.machine_name == seed.machine_name)
+        seed.switch = target
+        seed.allocation = dict(allocation)
+
+        def do_deploy() -> None:
+            if seed.switch is None:
+                return  # task undeployed while the command was in flight
+            soil = self.soils[seed.switch]
+            if seed.seed_id in soil.deployments:
+                return
+            deployment = soil.deploy(
+                seed_id=seed.seed_id, task_id=seed.task_id,
+                program_xml=seed.blueprint.xml_payload,
+                machine_name=seed.machine_name,
+                externals=config.externals, allocation=seed.allocation,
+                snapshot=snapshot, event_cpu_s=config.event_cpu_s)
+            seed.current_state = deployment.instance.current_state
+            seed.migrating = False
+
+        self.sim.schedule(DEPLOY_LATENCY_S, do_deploy,
+                          label=f"deploy {seed.seed_id}@{target}")
+
+    def _migrate(self, task: ActiveTask, seed: ManagedSeed, target: int,
+                 allocation: Mapping[str, float]) -> None:
+        """SV-B: deploy the description at the new location, transfer the
+        state, resume execution once migrated."""
+        source_soil = self.soils[seed.switch]
+        snapshot = source_soil.undeploy(seed.seed_id)
+        state_size = estimate_size_bytes(snapshot)
+        transfer = (MIGRATION_OVERHEAD_S
+                    + state_size / MIGRATION_BANDWIDTH_BPS)
+        seed.migrating = True
+        self.migrations_performed += 1
+        old_switch = seed.switch
+        seed.switch = target
+        seed.allocation = dict(allocation)
+        config = next(c for c in task.definition.machines
+                      if c.machine_name == seed.machine_name)
+
+        def arrive() -> None:
+            deployment = self.soils[target].deploy(
+                seed_id=seed.seed_id, task_id=seed.task_id,
+                program_xml=seed.blueprint.xml_payload,
+                machine_name=seed.machine_name,
+                externals=config.externals, allocation=allocation,
+                snapshot=snapshot, event_cpu_s=config.event_cpu_s)
+            seed.current_state = deployment.instance.current_state
+            seed.migrating = False
+
+        self.sim.schedule(transfer, arrive,
+                          label=f"migrate {seed.seed_id} "
+                                f"{old_switch}->{target}")
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+    def _route_seed_message(self, src_seed_id: str, src_machine: str,
+                            target_machine: str, dst: Optional[Any],
+                            value: Any) -> None:
+        """Deliver a seed's ``send x to M [@dst]`` (SIII-A-d)."""
+        delivered = 0
+        for task in self.tasks.values():
+            for seed in task.seeds:
+                if seed.machine_name != target_machine:
+                    continue
+                if seed.switch is None or seed.seed_id == src_seed_id:
+                    continue
+                if dst is not None and seed.switch != dst:
+                    continue
+                endpoint = f"seed/{seed.switch}/{seed.seed_id}"
+                if not self.bus.is_registered(endpoint):
+                    continue
+                self.bus.send(
+                    f"seed-route/{src_seed_id}", endpoint,
+                    {"__from_machine__": src_machine, "value": value},
+                    size_bytes=estimate_size_bytes(value))
+                delivered += 1
+        if delivered == 0 and dst is not None:
+            raise DeploymentError(
+                f"send from {src_seed_id!r}: no {target_machine!r} seed on "
+                f"switch {dst!r}")
+
+    def broadcast_to_seeds(self, task_id: str, machine: str,
+                           dst: Optional[int], value: Any,
+                           source: str) -> int:
+        """Harvester -> seeds delivery (used by Harvester.send_to_seeds)."""
+        task = self.tasks.get(task_id)
+        if task is None:
+            raise DeploymentError(f"unknown task {task_id!r}")
+        sent = 0
+        for seed in task.seeds:
+            if seed.machine_name != machine or seed.switch is None:
+                continue
+            if dst is not None and seed.switch != dst:
+                continue
+            endpoint = f"seed/{seed.switch}/{seed.seed_id}"
+            if not self.bus.is_registered(endpoint):
+                continue
+            self.bus.send(source, endpoint,
+                          {"__harvester__": True, "value": value},
+                          size_bytes=estimate_size_bytes(value))
+            sent += 1
+        return sent
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _make_transition_listener(self, soil: Soil):
+        def listener(seed_id: str, old_state: str, new_state: str) -> None:
+            for task in self.tasks.values():
+                for seed in task.seeds:
+                    if seed.seed_id == seed_id:
+                        seed.current_state = new_state
+                        return
+        return listener
+
+    def deployed_seed_count(self) -> int:
+        return sum(soil.num_seeds for soil in self.soils.values())
+
+    def seed_location(self, seed_id: str) -> Optional[int]:
+        for task in self.tasks.values():
+            for seed in task.seeds:
+                if seed.seed_id == seed_id:
+                    return seed.switch
+        return None
+
+
+def _alloc_close(a: Mapping[str, float], b: Mapping[str, float],
+                 tol: float = 1e-9) -> bool:
+    keys = set(a) | set(b)
+    return all(abs(a.get(k, 0.0) - b.get(k, 0.0)) <= tol for k in keys)

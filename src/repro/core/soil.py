@@ -1,0 +1,613 @@
+"""The soil: per-switch M&M foundation layer (SII-B-b).
+
+The soil manages seed execution, tracks switch resources, aggregates
+polling across seeds, and mediates every interaction between a seed and
+the outside world (ASIC via the driver, other seeds, harvesters).
+
+Polling aggregation: when several seeds poll the same subject, the soil
+polls the ASIC once and fans the data out — "it is possible to poll the
+data only once for all seeds to minimize communication to the ASIC and
+avoid contention".  With aggregation disabled, every seed's poll crosses
+the PCIe bus individually (the Fig. 8/9 comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.almanac.analysis import (
+    ConstEnv,
+    PollVarInfo,
+    analyze_poll_var,
+    encode_polling_subjects,
+)
+from repro.almanac.interpreter import CompiledMachine, MachineInstance, flatten_machine
+from repro.almanac.xmlcodec import decode_program
+from repro.errors import DeploymentError, FarmError
+from repro.net import filters as flt
+from repro.net.packet import Packet
+from repro.sim.engine import PeriodicTimer, Simulator
+from repro.switchsim.chassis import RESOURCE_TYPES, Switch
+from repro.switchsim.stratum import SwitchDriver
+from repro.switchsim.tcam import MONITORING, RuleAction, TcamRule
+from repro.core.comm import (
+    BusMessage,
+    ControlBus,
+    ExecutionMode,
+    SoilCommConfig,
+    estimate_size_bytes,
+    seed_soil_cpu_cost,
+    seed_soil_latency,
+)
+
+#: Default CPU cost of one seed event handler invocation (statistics
+#: filtering + state machine bookkeeping) — the HH-class workload.
+DEFAULT_EVENT_CPU_S = 10e-6
+
+#: Baseline standing load of one deployed seed (timer + bookkeeping).
+SEED_BASELINE_LOAD = 0.001
+
+#: Shortest polling interval the soil will arm (protects the switch from a
+#: zero/negative interval after a pathological reallocation).
+MIN_POLL_INTERVAL_S = 1e-4
+
+#: Packet samples pulled per probe firing.  Breadth-based detectors
+#: (super-spreaders, floods) need to see many flows per batch.
+PROBE_BATCH_SIZE = 64
+
+
+@dataclass
+class SeedDeployment:
+    """Everything the soil tracks about one running seed."""
+
+    seed_id: str
+    task_id: str
+    machine_name: str
+    instance: MachineInstance
+    allocation: Dict[str, float]
+    poll_vars: Dict[str, PollVarInfo]
+    timers: Dict[str, PeriodicTimer] = field(default_factory=dict)
+    rules: List[int] = field(default_factory=list)  # installed TCAM rule ids
+    event_cpu_s: float = DEFAULT_EVENT_CPU_S
+    events_delivered: int = 0
+    messages_sent: int = 0
+    deployed_at: float = 0.0
+
+
+@dataclass
+class _PollCacheEntry:
+    time: float
+    data: Any
+
+
+class _SeedHost:
+    """HostInterface implementation binding a seed to its soil."""
+
+    def __init__(self, soil: "Soil", deployment: SeedDeployment) -> None:
+        self.soil = soil
+        self.deployment = deployment
+
+    def now(self) -> float:
+        return self.soil.sim.now
+
+    def resources(self) -> Mapping[str, float]:
+        return dict(self.deployment.allocation)
+
+    def add_tcam_rule(self, rule: Dict[str, Any]) -> None:
+        self.soil.install_rule(self.deployment, rule)
+
+    def remove_tcam_rule(self, pattern: flt.Filter) -> None:
+        self.soil.remove_rules(self.deployment, pattern)
+
+    def get_tcam_rule(self, pattern: flt.Filter) -> Optional[Dict[str, Any]]:
+        rule = self.soil.driver.get_table_entry(pattern)
+        if rule is None:
+            return None
+        return {"__struct__": "Rule", "pattern": rule.pattern,
+                "act": {"action": rule.action.value, **rule.params}}
+
+    def send_to_harvester(self, value: Any) -> None:
+        self.soil.send_to_harvester(self.deployment, value)
+
+    def send_to_machine(self, machine: str, dst: Optional[Any],
+                        value: Any) -> None:
+        self.soil.send_to_machine(self.deployment, machine, dst, value)
+
+    def set_trigger_interval(self, var: str, interval: float) -> None:
+        self.soil.set_trigger_interval(self.deployment, var, interval)
+
+    def transit_hook(self, old_state: str, new_state: str) -> None:
+        self.soil.on_transition(self.deployment, old_state, new_state)
+
+    def exec_external(self, command: str, arg: Any) -> Any:
+        return self.soil.exec_external(self.deployment, command, arg)
+
+    def log(self, message: str) -> None:
+        self.soil.logs.append((self.soil.sim.now,
+                               self.deployment.seed_id, message))
+
+
+class Soil:
+    """One switch's M&M foundation layer."""
+
+    def __init__(self, sim: Simulator, switch: Switch, driver: SwitchDriver,
+                 bus: ControlBus,
+                 config: Optional[SoilCommConfig] = None,
+                 resource_types=RESOURCE_TYPES) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.driver = driver
+        self.bus = bus
+        self.config = config or SoilCommConfig()
+        self.resource_types = tuple(resource_types)
+        self.deployments: Dict[str, SeedDeployment] = {}
+        self.logs: List[Tuple[float, str, str]] = []
+        #: External programs runnable via Almanac's exec() (List. 1).
+        self.externals: Dict[str, Callable[[Any], Any]] = {}
+        #: exec() CPU cost per call, per command (seconds of one core).
+        self.external_costs: Dict[str, float] = {}
+        #: Additional builtins injected into every seed deployed here
+        #: (e.g. the sketch API, repro.sketches.install_sketch_builtins).
+        self.extra_builtins: Dict[str, Callable[..., Any]] = {}
+        self._poll_cache: Dict[Any, _PollCacheEntry] = {}
+        self._transition_listeners: List[Callable[[str, str, str], None]] = []
+        self.endpoint = f"soil/{switch.switch_id}"
+        #: Set by the fault-tolerance machinery when the switch dies.
+        self.failed = False
+        #: "propagate" re-raises seed exceptions (strict, default);
+        #: "restart" re-instantiates a crashed seed, up to max_seed_crashes.
+        self.crash_policy = "propagate"
+        self.max_seed_crashes = 3
+        self.seed_crashes: Dict[str, int] = {}
+        bus.register(self.endpoint, self._on_bus_message)
+        #: Router installed by the seeder for inter-seed messages.
+        self.seed_message_router: Optional[Callable[..., None]] = None
+        self.polls_issued = 0
+        self.polls_served_from_cache = 0
+
+    # ------------------------------------------------------------------
+    # Deployment lifecycle
+    # ------------------------------------------------------------------
+    def deploy(self, seed_id: str, task_id: str, program_xml: str,
+               machine_name: str,
+               externals: Optional[Mapping[str, Any]] = None,
+               allocation: Optional[Mapping[str, float]] = None,
+               snapshot: Optional[Mapping[str, Any]] = None,
+               event_cpu_s: float = DEFAULT_EVENT_CPU_S) -> SeedDeployment:
+        """Instantiate a seed from its XML payload and start it.
+
+        With ``snapshot`` the seed resumes mid-state (migration arrival)
+        instead of entering its initial state.
+        """
+        if self.failed:
+            raise DeploymentError(
+                f"switch {self.switch.switch_id} is marked failed")
+        if seed_id in self.deployments:
+            raise DeploymentError(
+                f"seed {seed_id!r} already deployed on switch "
+                f"{self.switch.switch_id}")
+        program = decode_program(program_xml)
+        compiled = flatten_machine(program, machine_name)
+        allocation = {r: float((allocation or {}).get(r, 0.0))
+                      for r in self.resource_types}
+        env = ConstEnv.for_machine(
+            _flat_decl(compiled), externals)
+        poll_vars = {
+            decl.name: analyze_poll_var(decl, env, self.resource_types)
+            for decl in compiled.trigger_decls}
+        deployment = SeedDeployment(
+            seed_id=seed_id, task_id=task_id, machine_name=machine_name,
+            instance=None,  # set below (host needs the deployment object)
+            allocation=allocation, poll_vars=poll_vars,
+            event_cpu_s=event_cpu_s, deployed_at=self.sim.now)
+        host = _SeedHost(self, deployment)
+        instance = MachineInstance(compiled, host, externals=externals,
+                                   instance_id=seed_id,
+                                   extra_builtins=self.extra_builtins)
+        deployment.instance = instance
+        self.deployments[seed_id] = deployment
+        self.bus.register(self._seed_endpoint(seed_id),
+                          lambda msg: self._on_seed_message(seed_id, msg))
+        if snapshot is not None:
+            instance.restore(snapshot)
+        else:
+            instance.start()
+        self._arm_triggers(deployment)
+        self._refresh_cpu_load(deployment)
+        self._refresh_pcie_demand()
+        return deployment
+
+    def undeploy(self, seed_id: str) -> Dict[str, Any]:
+        """Stop a seed and release everything; returns its final snapshot."""
+        deployment = self._get(seed_id)
+        snapshot = deployment.instance.snapshot()
+        for timer in deployment.timers.values():
+            timer.stop()
+        for rule_id in list(deployment.rules):
+            try:
+                self.driver.delete_table_entry(rule_id)
+            except FarmError:
+                pass
+        deployment.rules.clear()
+        self.switch.cpu.clear_standing_load(f"seed/{seed_id}")
+        self.bus.unregister(self._seed_endpoint(seed_id))
+        del self.deployments[seed_id]
+        self._refresh_pcie_demand()
+        return snapshot
+
+    def snapshot_seed(self, seed_id: str) -> Dict[str, Any]:
+        """Inner state for migration (seed keeps running until undeploy)."""
+        return self._get(seed_id).instance.snapshot()
+
+    def reallocate(self, seed_id: str,
+                   allocation: Mapping[str, float]) -> None:
+        """Apply a new resource allocation; fires the realloc trigger."""
+        deployment = self._get(seed_id)
+        deployment.allocation = {r: float(allocation.get(r, 0.0))
+                                 for r in self.resource_types}
+        self._arm_triggers(deployment)
+        self._refresh_cpu_load(deployment)
+        self._refresh_pcie_demand()
+        deployment.instance.fire_realloc()
+
+    def _get(self, seed_id: str) -> SeedDeployment:
+        try:
+            return self.deployments[seed_id]
+        except KeyError:
+            raise DeploymentError(
+                f"no seed {seed_id!r} on switch {self.switch.switch_id}"
+            ) from None
+
+    def _seed_endpoint(self, seed_id: str) -> str:
+        return f"seed/{self.switch.switch_id}/{seed_id}"
+
+    # ------------------------------------------------------------------
+    # Trigger variables: timers + polling
+    # ------------------------------------------------------------------
+    def _interval_for(self, deployment: SeedDeployment,
+                      info: PollVarInfo) -> Optional[float]:
+        try:
+            interval = info.interval_at(deployment.allocation)
+        except FarmError:
+            return None
+        if interval <= 0 or interval != interval:  # NaN guard
+            return None
+        return max(interval, MIN_POLL_INTERVAL_S)
+
+    def _arm_triggers(self, deployment: SeedDeployment) -> None:
+        for timer in deployment.timers.values():
+            timer.stop()
+        deployment.timers.clear()
+        for name, info in deployment.poll_vars.items():
+            interval = self._interval_for(deployment, info)
+            if interval is None:
+                continue  # no resources allocated for this poll yet
+            timer = self.sim.every(
+                interval, self._fire_trigger, deployment.seed_id, name,
+                label=f"{deployment.seed_id}.{name}")
+            deployment.timers[name] = timer
+
+    def set_trigger_interval(self, deployment: SeedDeployment, var: str,
+                             interval: float) -> None:
+        """Dynamic polling-rate change from inside the seed (SIII-A-d)."""
+        interval = max(float(interval), MIN_POLL_INTERVAL_S)
+        timer = deployment.timers.get(var)
+        if timer is not None:
+            timer.reschedule(interval)
+        else:
+            deployment.timers[var] = self.sim.every(
+                interval, self._fire_trigger, deployment.seed_id, var,
+                label=f"{deployment.seed_id}.{var}")
+        # Interval now diverges from the static analysis: pin it.
+        info = deployment.poll_vars.get(var)
+        if info is not None:
+            from repro.almanac.poly import LinPoly, RationalFunc
+            deployment.poll_vars[var] = PollVarInfo(
+                name=info.name, kind=info.kind,
+                ival=RationalFunc(LinPoly.constant(interval)),
+                what=info.what)
+        self._refresh_cpu_load(deployment)
+        self._refresh_pcie_demand()
+
+    def _fire_trigger(self, seed_id: str, var: str) -> None:
+        deployment = self.deployments.get(seed_id)
+        if deployment is None:
+            return
+        info = deployment.poll_vars[var]
+        if info.kind == "time":
+            self._deliver(deployment, var, None, extra_latency=0.0)
+            return
+        if info.kind == "probe":
+            packets, latency = self.driver.sample_packets(
+                info.what, max_packets=PROBE_BATCH_SIZE)
+            self._deliver(deployment, var, packets, extra_latency=latency)
+            return
+        data, latency = self._poll(deployment, info)
+        self._deliver(deployment, var, data, extra_latency=latency)
+
+    def _poll(self, deployment: SeedDeployment,
+              info: PollVarInfo) -> Tuple[Any, float]:
+        """Poll statistics, serving from the aggregation cache when fresh."""
+        subjects = encode_polling_subjects(info.what,
+                                           self.switch.asic.num_ports)
+        cache_key = subjects
+        interval = self._interval_for(deployment, info) or MIN_POLL_INTERVAL_S
+        if self.config.aggregation:
+            cached = self._poll_cache.get(cache_key)
+            if cached is not None and self.sim.now - cached.time < interval:
+                self.polls_served_from_cache += 1
+                # Aggregated fan-out: no PCIe crossing, but the data must
+                # reach the seed — trivial for threads (shared buffer),
+                # two context switches for process seeds (Fig. 9's cost).
+                cpu, ctx = seed_soil_cpu_cost(self.config)
+                self.switch.cpu.charge_work(cpu, context_switches=ctx)
+                return cached.data, 0.0
+        self.polls_issued += 1
+        ports = sorted(p for kind, p in subjects if kind == "port")
+        rule_patterns = [c for kind, c in subjects if kind == "tcam"]
+        if ports:
+            stats, latency = self.driver.read_port_counters(ports)
+        elif rule_patterns:
+            rule_ids = [rule.rule_id
+                        for rule in self.switch.tcam.rules(MONITORING)]
+            stats, latency = self.driver.read_rule_counters(rule_ids)
+        else:
+            stats, latency = self.driver.read_port_counters()
+        if self.config.aggregation:
+            self._poll_cache[cache_key] = _PollCacheEntry(self.sim.now, stats)
+            # Aggregation work happens in the soil (Fig. 9): merging and
+            # fanning out costs CPU, more when seeds are processes.
+            cpu, ctx = seed_soil_cpu_cost(self.config)
+            self.switch.cpu.charge_work(cpu, context_switches=ctx)
+        return stats, latency
+
+    def _deliver(self, deployment: SeedDeployment, var: str, data: Any,
+                 extra_latency: float) -> None:
+        comm_latency = seed_soil_latency(self.config, len(self.deployments))
+        cpu_cost, ctx = seed_soil_cpu_cost(self.config)
+        handler_delay = self.switch.cpu.charge_work(
+            deployment.event_cpu_s + cpu_cost, context_switches=ctx)
+        total = extra_latency + comm_latency + handler_delay
+        self.sim.schedule(total, self._run_handler, deployment.seed_id, var,
+                          data, label=f"deliver {deployment.seed_id}.{var}")
+
+    def _run_handler(self, seed_id: str, var: str, data: Any) -> None:
+        deployment = self.deployments.get(seed_id)
+        if deployment is None:
+            return  # undeployed while the event was in flight
+        deployment.events_delivered += 1
+        try:
+            deployment.instance.fire_trigger_var(var, data)
+        except FarmError:
+            if not self._contain_crash(deployment):
+                raise
+
+    def _contain_crash(self, deployment: SeedDeployment) -> bool:
+        """Apply the crash policy; returns True if the crash was handled.
+
+        Under "restart" the seed is re-instantiated from scratch (its
+        state is assumed corrupted) until max_seed_crashes, after which
+        the seed stays down and the failure propagates.
+        """
+        if self.crash_policy != "restart":
+            return False
+        seed_id = deployment.seed_id
+        crashes = self.seed_crashes.get(seed_id, 0) + 1
+        self.seed_crashes[seed_id] = crashes
+        if crashes > self.max_seed_crashes:
+            return False
+        compiled = deployment.instance.compiled
+        externals = {
+            name: deployment.instance.machine_scope.vars[name]
+            for name in compiled.external_names
+            if name in deployment.instance.machine_scope.vars}
+        host = _SeedHost(self, deployment)
+        fresh = MachineInstance(compiled, host, externals=externals,
+                                instance_id=seed_id,
+                                extra_builtins=self.extra_builtins)
+        deployment.instance = fresh
+        fresh.start()
+        self._arm_triggers(deployment)
+        self.logs.append((self.sim.now, seed_id,
+                          f"restarted after crash #{crashes}"))
+        return True
+
+    # ------------------------------------------------------------------
+    # Resource accounting refresh
+    # ------------------------------------------------------------------
+    def _refresh_cpu_load(self, deployment: SeedDeployment) -> None:
+        # Event-handling work is charged per delivery (charge_work in
+        # _deliver); the standing entry covers only the seed's constant
+        # bookkeeping so nothing is double counted.
+        self.switch.cpu.set_standing_load(f"seed/{deployment.seed_id}",
+                                          SEED_BASELINE_LOAD)
+
+    def _refresh_pcie_demand(self) -> None:
+        """Re-derive the standing PCIe polling demand across all seeds.
+
+        With aggregation, each subject is charged at the *fastest* rate any
+        seed polls it; without, rates add up (SIV-B-b's pollres model).
+        """
+        from repro.switchsim.pcie import BYTES_PER_COUNTER
+        per_subject: Dict[Any, List[float]] = {}
+        for deployment in self.deployments.values():
+            for info in deployment.poll_vars.values():
+                if info.kind == "time":
+                    continue
+                interval = self._interval_for(deployment, info)
+                if interval is None:
+                    continue
+                subjects = encode_polling_subjects(
+                    info.what, self.switch.asic.num_ports)
+                rate = len(subjects) * BYTES_PER_COUNTER / interval
+                per_subject.setdefault(subjects, []).append(rate)
+        total = 0.0
+        for rates in per_subject.values():
+            total += max(rates) if self.config.aggregation else sum(rates)
+        self.switch.pcie.register_poller("soil", total)
+
+    # ------------------------------------------------------------------
+    # Local reactions: TCAM
+    # ------------------------------------------------------------------
+    _ACTION_MAP = {
+        "forward": RuleAction.FORWARD,
+        "drop": RuleAction.DROP,
+        "rate_limit": RuleAction.RATE_LIMIT,
+        "mirror": RuleAction.MIRROR,
+        "count": RuleAction.COUNT,
+        "set_qos": RuleAction.SET_QOS,
+    }
+
+    def install_rule(self, deployment: SeedDeployment,
+                     rule_struct: Dict[str, Any]) -> int:
+        """Install a monitoring rule on behalf of a seed (local reaction)."""
+        pattern = rule_struct.get("pattern")
+        if not isinstance(pattern, flt.Filter):
+            raise DeploymentError("Rule.pattern must be a filter")
+        act = rule_struct.get("act")
+        params: Dict[str, Any] = {}
+        if isinstance(act, dict):
+            action_name = str(act.get("action", "count"))
+            params = {k: v for k, v in act.items()
+                      if k not in ("action", "__struct__")}
+        else:
+            action_name = str(act or "count")
+        action = self._ACTION_MAP.get(action_name)
+        if action is None:
+            raise DeploymentError(f"unknown rule action {action_name!r}")
+        budget = deployment.allocation.get("TCAM", 0.0)
+        if budget and len(deployment.rules) + 1 > budget:
+            raise DeploymentError(
+                f"seed {deployment.seed_id!r} exceeded its TCAM budget "
+                f"({int(budget)} rules)")
+        rule = TcamRule(pattern=pattern, action=action, priority=10,
+                        params=params, region=MONITORING)
+        rule_id, _latency = self.driver.write_table_entry(rule)
+        deployment.rules.append(rule_id)
+        return rule_id
+
+    def remove_rules(self, deployment: SeedDeployment,
+                     pattern: flt.Filter) -> int:
+        removed = 0
+        for rule_id in list(deployment.rules):
+            try:
+                rule = self.switch.tcam.get(rule_id)
+            except FarmError:
+                deployment.rules.remove(rule_id)
+                continue
+            if rule.pattern == pattern:
+                self.driver.delete_table_entry(rule_id)
+                deployment.rules.remove(rule_id)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send_to_harvester(self, deployment: SeedDeployment,
+                          value: Any) -> None:
+        deployment.messages_sent += 1
+        dst = f"harvester/{deployment.task_id}"
+        if not self.bus.is_registered(dst):
+            return  # task has no harvester; message is dropped silently
+        self.bus.send(self._seed_endpoint(deployment.seed_id), dst,
+                      {"seed_id": deployment.seed_id,
+                       "switch": self.switch.switch_id, "value": value},
+                      size_bytes=estimate_size_bytes(value))
+
+    def send_to_machine(self, deployment: SeedDeployment, machine: str,
+                        dst: Optional[Any], value: Any) -> None:
+        deployment.messages_sent += 1
+        if self.seed_message_router is None:
+            raise DeploymentError(
+                "no seed message router installed (is a seeder running?)")
+        self.seed_message_router(deployment.seed_id, deployment.machine_name,
+                                 machine, dst, value)
+
+    def _on_bus_message(self, message: BusMessage) -> None:
+        """Control messages addressed to the soil itself (unused hooks)."""
+
+    def _on_seed_message(self, seed_id: str, message: BusMessage) -> None:
+        deployment = self.deployments.get(seed_id)
+        if deployment is None:
+            return
+        payload = message.payload
+        source_machine = ""
+        value = payload
+        if isinstance(payload, dict) and "__from_machine__" in payload:
+            source_machine = payload["__from_machine__"]
+            value = payload["value"]
+        elif isinstance(payload, dict) and "value" in payload \
+                and "__harvester__" in payload:
+            value = payload["value"]
+        cpu_cost, ctx = seed_soil_cpu_cost(self.config)
+        delay = self.switch.cpu.charge_work(
+            deployment.event_cpu_s + cpu_cost, context_switches=ctx)
+        self.sim.schedule(
+            delay, self._fire_recv, seed_id, value, source_machine,
+            label=f"recv {seed_id}")
+
+    def _fire_recv(self, seed_id: str, value: Any,
+                   source_machine: str) -> None:
+        deployment = self.deployments.get(seed_id)
+        if deployment is None:
+            return
+        deployment.events_delivered += 1
+        deployment.instance.fire_recv(value, source_machine=source_machine)
+
+    # ------------------------------------------------------------------
+    # Transitions & external code
+    # ------------------------------------------------------------------
+    def add_transition_listener(
+            self, listener: Callable[[str, str, str], None]) -> None:
+        """listener(seed_id, old_state, new_state)"""
+        self._transition_listeners.append(listener)
+
+    def on_transition(self, deployment: SeedDeployment, old_state: str,
+                      new_state: str) -> None:
+        for listener in self._transition_listeners:
+            listener(deployment.seed_id, old_state, new_state)
+
+    def register_external(self, command: str, fn: Callable[[Any], Any],
+                          cpu_cost_s: float = 0.0) -> None:
+        """Make an external program available to seeds' exec() calls."""
+        self.externals[command] = fn
+        self.external_costs[command] = cpu_cost_s
+
+    def exec_external(self, deployment: SeedDeployment, command: str,
+                      arg: Any) -> Any:
+        fn = self.externals.get(command)
+        if fn is None:
+            raise DeploymentError(
+                f"exec({command!r}): no such external program on switch "
+                f"{self.switch.switch_id}")
+        cost = self.external_costs.get(command, 0.0)
+        if cost:
+            as_process = self.config.execution_mode is ExecutionMode.PROCESS
+            self.switch.cpu.charge_work(
+                cost, context_switches=2 if as_process else 0)
+        return fn(arg)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_seeds(self) -> int:
+        return len(self.deployments)
+
+    def resource_usage(self) -> Dict[str, float]:
+        """Soil's own view of allocated resources (for seeder telemetry)."""
+        usage = {r: 0.0 for r in self.resource_types}
+        for deployment in self.deployments.values():
+            for r in self.resource_types:
+                usage[r] += deployment.allocation.get(r, 0.0)
+        return usage
+
+
+def _flat_decl(compiled: CompiledMachine):
+    """Synthetic MachineDecl view of a flattened machine (for ConstEnv)."""
+    from repro.almanac import astnodes as ast
+    return ast.MachineDecl(
+        name=compiled.name, placements=compiled.placements,
+        var_decls=compiled.var_decls, states=[], events=[])

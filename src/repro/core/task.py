@@ -1,0 +1,58 @@
+"""M&M task definitions.
+
+A task is what an operator submits to the seeder (SIII-B): a set of
+Almanac machines, values for their ``external`` variables, and optionally
+a harvester.  ``event_cpu_s`` lets tasks declare how expensive one event
+handler invocation is (the ML task of SVI-A is orders of magnitude above
+the HH task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.harvester import Harvester
+from repro.core.soil import DEFAULT_EVENT_CPU_S
+from repro.errors import DeploymentError
+
+
+@dataclass
+class MachineConfig:
+    """Per-machine deployment parameters within a task."""
+
+    machine_name: str
+    externals: Dict[str, object] = field(default_factory=dict)
+    event_cpu_s: float = DEFAULT_EVENT_CPU_S
+
+
+@dataclass
+class TaskDefinition:
+    """One M&M task as submitted to the seeder."""
+
+    task_id: str
+    source: str  # Almanac program text
+    machines: List[MachineConfig]
+    harvester: Optional[Harvester] = None
+    mandatory: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise DeploymentError(f"task {self.task_id!r} has no machines")
+        names = [m.machine_name for m in self.machines]
+        if len(set(names)) != len(names):
+            raise DeploymentError(
+                f"task {self.task_id!r} lists a machine twice")
+
+    @classmethod
+    def single_machine(cls, task_id: str, source: str, machine_name: str,
+                       externals: Optional[Mapping[str, object]] = None,
+                       harvester: Optional[Harvester] = None,
+                       event_cpu_s: float = DEFAULT_EVENT_CPU_S,
+                       mandatory: bool = False) -> "TaskDefinition":
+        """Convenience for the common one-machine task."""
+        return cls(task_id=task_id, source=source,
+                   machines=[MachineConfig(machine_name=machine_name,
+                                           externals=dict(externals or {}),
+                                           event_cpu_s=event_cpu_s)],
+                   harvester=harvester, mandatory=mandatory)

@@ -1,0 +1,78 @@
+"""Exception hierarchy shared across the FARM reproduction.
+
+Every subsystem raises a subclass of :class:`FarmError` so that callers can
+catch framework failures without masking programming errors (``TypeError``
+and friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class FarmError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(FarmError):
+    """The discrete-event kernel was used incorrectly (e.g. time travel)."""
+
+
+class TopologyError(FarmError):
+    """Invalid topology construction or an unknown node/link was referenced."""
+
+
+class SwitchError(FarmError):
+    """Switch emulator failure (unknown port, driver misuse, ...)."""
+
+
+class TcamError(SwitchError):
+    """TCAM capacity exhausted or an invalid rule operation was attempted."""
+
+
+class AlmanacError(FarmError):
+    """Base class for all Almanac language errors."""
+
+
+class AlmanacSyntaxError(AlmanacError):
+    """Lexing or parsing failed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class AlmanacTypeError(AlmanacError):
+    """Static type checking of an Almanac program failed."""
+
+
+class AlmanacAnalysisError(AlmanacError):
+    """Static analysis (utility/placement/polling extraction) failed.
+
+    Raised for example when a ``util`` body violates the syntactic
+    restrictions of SIII-A-f or a ``place`` directive cannot be resolved.
+    """
+
+
+class AlmanacRuntimeError(AlmanacError):
+    """A seed state machine failed while executing."""
+
+
+class PlacementError(FarmError):
+    """The placement optimizer was given an inconsistent problem."""
+
+
+class InfeasiblePlacementError(PlacementError):
+    """No feasible placement exists for the mandatory constraints."""
+
+
+class DeploymentError(FarmError):
+    """The seeder could not deploy, migrate, or remove a seed."""
+
+
+class CommError(FarmError):
+    """Communication-service failure (unknown endpoint, closed channel)."""

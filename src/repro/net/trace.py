@@ -1,0 +1,158 @@
+"""Trace-style synthetic traffic: the statistical shape of DC traffic.
+
+Production traces (the paper's SAP data center) are unavailable, so this
+module generates workloads with the *published* statistical properties of
+data-center traffic (Benson et al., IMC'10; Roy et al., SIGCOMM'15):
+
+* flow sizes are heavy-tailed (bounded Zipf/Pareto): most flows are mice,
+  a tiny fraction of elephants carries most bytes;
+* flow arrivals are Poisson within an epoch;
+* flow durations are log-uniform between bounds;
+* the active-flow population churns continuously (arrivals + expiries),
+  unlike the static rate sets of :mod:`repro.net.traffic`.
+
+This is the workload to use when a benchmark needs realistic churn rather
+than a controlled parameter sweep.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import FarmError
+from repro.net.addresses import parse_ip
+from repro.net.packet import PROTO_TCP, PROTO_UDP, Flow, FlowKey
+from repro.net.traffic import TrafficSink, Workload
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Statistical knobs of the generated traffic."""
+
+    mean_arrivals_per_s: float = 200.0
+    zipf_exponent: float = 1.2       # flow-size tail index
+    min_flow_bytes: float = 2e3      # mouse floor (a few packets)
+    max_flow_bytes: float = 1e9      # elephant ceiling
+    min_duration_s: float = 0.05
+    max_duration_s: float = 30.0
+    num_ports: int = 48
+    num_hosts: int = 200
+    udp_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.mean_arrivals_per_s <= 0:
+            raise FarmError("arrival rate must be positive")
+        if self.zipf_exponent <= 1.0:
+            raise FarmError("zipf exponent must exceed 1 for a finite mean")
+        if self.min_flow_bytes >= self.max_flow_bytes:
+            raise FarmError("flow-size bounds inverted")
+        if self.min_duration_s >= self.max_duration_s:
+            raise FarmError("duration bounds inverted")
+
+
+class TraceWorkload(Workload):
+    """Continuously churning flows with heavy-tailed sizes.
+
+    Each arrival draws a size from a bounded Pareto (the continuous Zipf
+    analogue), a duration log-uniformly, and runs at ``size/duration``
+    until it expires and detaches.  Ground truth for HH-style tasks is
+    :meth:`elephants_active` (flows whose *rate* exceeds a threshold).
+    """
+
+    def __init__(self, profile: Optional[TraceProfile] = None,
+                 horizon_s: float = 60.0, seed: int = 0) -> None:
+        super().__init__(seed)
+        self.profile = profile or TraceProfile()
+        self.horizon_s = horizon_s
+        self.active: Set[Flow] = set()
+        self.completed = 0
+        self.bytes_offered = 0.0
+
+    # -- distributions -----------------------------------------------------
+    def _draw_flow_bytes(self) -> float:
+        """Bounded Pareto via inverse transform."""
+        profile = self.profile
+        alpha = profile.zipf_exponent - 1.0
+        low, high = profile.min_flow_bytes, profile.max_flow_bytes
+        u = self.rng.random()
+        ratio = (high / low) ** alpha
+        return low * (1.0 - u * (1.0 - 1.0 / ratio)) ** (-1.0 / alpha)
+
+    def _draw_duration(self) -> float:
+        profile = self.profile
+        log_low = math.log(profile.min_duration_s)
+        log_high = math.log(profile.max_duration_s)
+        return math.exp(self.rng.uniform(log_low, log_high))
+
+    def _draw_key(self) -> FlowKey:
+        profile = self.profile
+        src = parse_ip("10.0.0.0") + self.rng.randrange(profile.num_hosts)
+        dst = parse_ip("10.128.0.0") + self.rng.randrange(profile.num_hosts)
+        proto = (PROTO_UDP if self.rng.random() < profile.udp_fraction
+                 else PROTO_TCP)
+        return FlowKey(src, dst, self.rng.randrange(32768, 61000),
+                       self.rng.choice((80, 443, 53, 8080, 22)), proto)
+
+    # -- lifecycle --------------------------------------------------------
+    def _build(self) -> None:
+        assert self._sim is not None
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        assert self._sim is not None
+        if self._sim.now >= self.horizon_s:
+            return
+        gap = self.rng.expovariate(self.profile.mean_arrivals_per_s)
+        self._sim.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        assert self._sim is not None and self._sink is not None
+        size = self._draw_flow_bytes()
+        duration = self._draw_duration()
+        rate = size / duration
+        key = self._draw_key()
+        port = self.rng.randrange(self.profile.num_ports)
+        flow = self._make_flow(key, rate, in_port=port, out_port=port,
+                               packet_size=1400 if size > 1e5 else 200,
+                               label=f"trace{self.stats.flows_created}")
+        self.active.add(flow)
+        self.bytes_offered += size
+        self._sim.schedule(duration, self._expire, flow)
+        self._schedule_next_arrival()
+
+    def _expire(self, flow: Flow) -> None:
+        assert self._sim is not None and self._sink is not None
+        if flow not in self.active:
+            return
+        self.active.discard(flow)
+        self.completed += 1
+        flow.stop(at_time=self._sim.now)
+        self._sink.detach_flow(flow)
+
+    # -- ground truth -----------------------------------------------------
+    def elephants_active(self, threshold_bps: float) -> List[Flow]:
+        assert self._sim is not None
+        now = self._sim.now
+        return [flow for flow in self.active
+                if flow.rate_at(now) >= threshold_bps]
+
+    def offered_load_bps(self) -> float:
+        assert self._sim is not None
+        now = self._sim.now
+        return sum(flow.rate_at(now) for flow in self.active)
+
+    def heavy_tail_share(self, top_fraction: float = 0.1) -> float:
+        """Fraction of current offered load carried by the top flows —
+        the heavy-tail sanity metric (should be >> top_fraction)."""
+        assert self._sim is not None
+        now = self._sim.now
+        rates = sorted((flow.rate_at(now) for flow in self.active),
+                       reverse=True)
+        if not rates:
+            return 0.0
+        top = max(1, int(len(rates) * top_fraction))
+        total = sum(rates)
+        return sum(rates[:top]) / total if total else 0.0

@@ -1,0 +1,533 @@
+"""FARM's placement heuristic (Alg. 1).
+
+1. Sort tasks by decreasing minimum utility.
+2. Greedily place each task's seeds at their cheapest feasible footprint,
+   preferring the current location (no unnecessary migration); drop the
+   whole task if any seed cannot be placed (C1).
+3. Redistribute resources per switch with an LP (placements fixed).
+4. Compute migration benefits for movable seeds.
+5. Migrate in decreasing benefit order, then redistribute again.
+
+Scalability notes: all bookkeeping is dict-based per switch, so the greedy
+phase is ``O(seeds * |N^s| * pieces)``; the LPs are per-switch and small.
+This is what lets the heuristic track the MILP's utility at a fraction of
+the runtime (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.almanac.poly import LinPoly, UtilityPiece
+from repro.errors import PlacementError
+from repro.placement.linprog_builder import INF, LinProgram
+from repro.placement.model import (
+    PlacementProblem,
+    PlacementSolution,
+    SeedSpec,
+    compute_objective,
+)
+
+
+def _minimal_alloc(piece: UtilityPiece,
+                   resource_types: Tuple[str, ...]) -> Dict[str, float]:
+    """Cheapest allocation satisfying a piece's simple lower bounds."""
+    alloc = {r: 0.0 for r in resource_types}
+    for constraint in piece.constraints:
+        if len(constraint.coeffs) == 1:
+            (var, coeff), = constraint.coeffs.items()
+            if coeff > 0:
+                alloc[var] = max(alloc.get(var, 0.0),
+                                 -constraint.const / coeff)
+    return alloc
+
+
+@dataclass
+class _SwitchState:
+    """Mutable per-switch accounting during the heuristic run."""
+
+    switch: int
+    capacity: Dict[str, float]
+    used: Dict[str, float] = field(default_factory=dict)
+    #: subject -> current aggregated polling rate (the max over seeds).
+    poll_rates: Dict[FrozenSet, float] = field(default_factory=dict)
+    #: seeds currently assigned here.
+    residents: List[str] = field(default_factory=list)
+    #: migration residue: resources still held by seeds moving away.
+    residue: Dict[str, float] = field(default_factory=dict)
+    residue_poll: Dict[FrozenSet, float] = field(default_factory=dict)
+
+    def free(self, r: str) -> float:
+        return (self.capacity.get(r, 0.0) - self.used.get(r, 0.0)
+                - self.residue.get(r, 0.0))
+
+    def poll_used(self) -> float:
+        total = sum(self.poll_rates.values())
+        for subject, rate in self.residue_poll.items():
+            total += max(0.0, rate - self.poll_rates.get(subject, 0.0))
+        return total
+
+
+class HeuristicPlacementSolver:
+    """Implements Alg. 1 end to end."""
+
+    def __init__(self, problem: PlacementProblem,
+                 redistribute: bool = True, migrate: bool = True) -> None:
+        self.problem = problem
+        self.redistribute_enabled = redistribute
+        self.migrate_enabled = migrate
+        self.states: Dict[int, _SwitchState] = {
+            n: _SwitchState(n, dict(problem.available[n]))
+            for n in problem.switches}
+        self.placement: Dict[str, int] = {}
+        self.allocations: Dict[str, Dict[str, float]] = {}
+        self.piece_choice: Dict[str, int] = {}
+        self._seed_by_id = {s.seed_id: s for s in problem.all_seeds()}
+        #: seeds currently holding a migration-residue reservation on
+        #: their previous switch (SIV-B-a: double occupancy in transit).
+        self._reserved: Dict[str, int] = {}
+
+    def _add_residue(self, seed_id: str, prev: int) -> None:
+        if seed_id in self._reserved:
+            return
+        self._reserved[seed_id] = prev
+        state = self.states[prev]
+        old_alloc = self.problem.previous_allocations.get(seed_id, {})
+        for r in self.problem.resource_types:
+            if r != self.problem.r_poll:
+                state.residue[r] = (state.residue.get(r, 0.0)
+                                    + old_alloc.get(r, 0.0))
+        self._rebuild_residue_poll(state)
+
+    def _remove_residue(self, seed_id: str, prev: int) -> None:
+        if self._reserved.pop(seed_id, None) is None:
+            return
+        state = self.states[prev]
+        old_alloc = self.problem.previous_allocations.get(seed_id, {})
+        for r in self.problem.resource_types:
+            if r != self.problem.r_poll:
+                state.residue[r] = max(
+                    0.0, state.residue.get(r, 0.0) - old_alloc.get(r, 0.0))
+        self._rebuild_residue_poll(state)
+
+    def _rebuild_residue_poll(self, state: _SwitchState) -> None:
+        state.residue_poll.clear()
+        for sid, prev in self._reserved.items():
+            if prev != state.switch:
+                continue
+            seed = self._seed_by_id[sid]
+            old_alloc = self.problem.previous_allocations.get(sid, {})
+            for subject, rate in self._seed_poll_rates(
+                    prev, seed, old_alloc).items():
+                state.residue_poll[subject] = max(
+                    state.residue_poll.get(subject, 0.0), rate)
+
+    # ------------------------------------------------------------------
+    # Polling accounting helpers
+    # ------------------------------------------------------------------
+    def _poll_delta(self, state: _SwitchState, seed: SeedSpec,
+                    alloc: Mapping[str, float]) -> Tuple[float,
+                                                         Dict[FrozenSet, float]]:
+        """Additional aggregated polling rate if ``seed`` runs at ``alloc``."""
+        env = {r: alloc.get(r, 0.0) for r in self.problem.resource_types}
+        delta = 0.0
+        new_rates: Dict[FrozenSet, float] = {}
+        for demand in seed.poll_demands:
+            rate = (self.problem.alpha(state.switch) * demand.weight
+                    * max(demand.inv_interval.evaluate(env), 0.0))
+            current = max(state.poll_rates.get(demand.subject, 0.0),
+                          new_rates.get(demand.subject, 0.0))
+            if rate > current:
+                delta += rate - current
+                new_rates[demand.subject] = rate
+        return delta, new_rates
+
+    def _seed_poll_rates(self, switch: int, seed: SeedSpec,
+                         alloc: Mapping[str, float]) -> Dict[FrozenSet, float]:
+        env = {r: alloc.get(r, 0.0) for r in self.problem.resource_types}
+        rates: Dict[FrozenSet, float] = {}
+        for demand in seed.poll_demands:
+            rate = (self.problem.alpha(switch) * demand.weight
+                    * max(demand.inv_interval.evaluate(env), 0.0))
+            rates[demand.subject] = max(rates.get(demand.subject, 0.0), rate)
+        return rates
+
+    def _recompute_poll_rates(self, state: _SwitchState) -> None:
+        rates: Dict[FrozenSet, float] = {}
+        for sid in state.residents:
+            seed = self._seed_by_id[sid]
+            for subject, rate in self._seed_poll_rates(
+                    state.switch, seed, self.allocations[sid]).items():
+                rates[subject] = max(rates.get(subject, 0.0), rate)
+        state.poll_rates = rates
+
+    # ------------------------------------------------------------------
+    # Step 2: greedy placement
+    # ------------------------------------------------------------------
+    def _fits(self, state: _SwitchState, seed: SeedSpec,
+              alloc: Mapping[str, float]) -> bool:
+        for r in self.problem.resource_types:
+            if r == self.problem.r_poll:
+                continue
+            if alloc.get(r, 0.0) > state.free(r) + 1e-9:
+                return False
+            if alloc.get(r, 0.0) > state.capacity.get(r, 0.0) + 1e-9:
+                return False
+        poll_cap = state.capacity.get(self.problem.r_poll, 0.0)
+        if alloc.get(self.problem.r_poll, 0.0) > poll_cap + 1e-9:
+            return False
+        delta, _rates = self._poll_delta(state, seed, alloc)
+        return state.poll_used() + delta <= poll_cap + 1e-9
+
+    def _residue_fits(self, seed: SeedSpec, prev: int) -> bool:
+        """Can the previous switch absorb this seed's migration residue?
+
+        Placing a seed away from its previous home doubles its occupancy
+        there during the transfer (SIV-B-a); if the old switch has no
+        headroom, that candidate is not usable.
+        """
+        state = self.states[prev]
+        old_alloc = self.problem.previous_allocations.get(seed.seed_id, {})
+        for r in self.problem.resource_types:
+            if r == self.problem.r_poll:
+                continue
+            if old_alloc.get(r, 0.0) > state.free(r) + 1e-9:
+                return False
+        rates = self._seed_poll_rates(prev, seed, old_alloc)
+        delta = 0.0
+        for subject, rate in rates.items():
+            current = max(state.poll_rates.get(subject, 0.0),
+                          state.residue_poll.get(subject, 0.0))
+            if rate > current:
+                delta += rate - current
+        poll_cap = state.capacity.get(self.problem.r_poll, 0.0)
+        return state.poll_used() + delta <= poll_cap + 1e-9
+
+    def _best_option(self, seed: SeedSpec
+                     ) -> Optional[Tuple[float, int, int, Dict[str, float]]]:
+        """(utility, switch, piece index, alloc) of the best feasible spot.
+
+        The previous location gets an epsilon bonus so ties never migrate
+        ("without unnecessary migration").
+        """
+        prev = self.problem.previous_placement.get(seed.seed_id)
+        best: Optional[Tuple[float, int, int, Dict[str, float]]] = None
+        for n in seed.candidates:
+            state = self.states[n]
+            if (prev is not None and n != prev and prev in self.states
+                    and not self._residue_fits(seed, prev)):
+                continue  # old switch cannot host the migration residue
+            for k, piece in enumerate(seed.utility.pieces):
+                alloc = _minimal_alloc(piece, self.problem.resource_types)
+                if not self._fits(state, seed, alloc):
+                    continue
+                env = {r: alloc.get(r, 0.0)
+                       for r in self.problem.resource_types}
+                if not piece.feasible(env):
+                    continue
+                utility = piece.utility.evaluate(env)
+                score = utility + (1e-9 if n == prev else 0.0)
+                if best is None or score > best[0]:
+                    best = (score, n, k, alloc)
+        return best
+
+    def _commit(self, seed: SeedSpec, switch: int, piece_index: int,
+                alloc: Dict[str, float]) -> None:
+        state = self.states[switch]
+        for r in self.problem.resource_types:
+            if r != self.problem.r_poll:
+                state.used[r] = state.used.get(r, 0.0) + alloc.get(r, 0.0)
+        _delta, new_rates = self._poll_delta(state, seed, alloc)
+        for subject, rate in new_rates.items():
+            state.poll_rates[subject] = max(
+                state.poll_rates.get(subject, 0.0), rate)
+        state.residents.append(seed.seed_id)
+        self.placement[seed.seed_id] = switch
+        self.allocations[seed.seed_id] = dict(alloc)
+        self.piece_choice[seed.seed_id] = piece_index
+        # Placing away from the previous switch doubles occupancy there
+        # during the state transfer (SIV-B-a).
+        prev = self.problem.previous_placement.get(seed.seed_id)
+        if prev is not None and prev != switch and prev in self.states:
+            self._add_residue(seed.seed_id, prev)
+
+    def _uncommit(self, seed_id: str) -> None:
+        switch = self.placement.pop(seed_id)
+        alloc = self.allocations.pop(seed_id)
+        self.piece_choice.pop(seed_id, None)
+        state = self.states[switch]
+        state.residents.remove(seed_id)
+        for r in self.problem.resource_types:
+            if r != self.problem.r_poll:
+                state.used[r] = max(0.0,
+                                    state.used.get(r, 0.0) - alloc.get(r, 0.0))
+        self._recompute_poll_rates(state)
+        # Undo the migration residue if this placement had created one.
+        prev = self.problem.previous_placement.get(seed_id)
+        if prev is not None and prev != switch and prev in self.states:
+            self._remove_residue(seed_id, prev)
+
+    def _task_order(self) -> List:
+        """Alg. 1 step 1: tasks by decreasing minimum utility.
+
+        Overridable (the ablation benchmark measures what this buys).
+        """
+        return sorted(self.problem.tasks,
+                      key=lambda t: (-t.min_utility(), t.task_id))
+
+    def greedy_place(self) -> List[str]:
+        """Alg. 1 steps 1-2; returns placed task ids."""
+        tasks = self._task_order()
+        placed_tasks: List[str] = []
+        for task in tasks:
+            committed: List[str] = []
+            # Repeatedly place the remaining seed with the highest best-spot
+            # utility ("choose and place such s that adds the most").
+            remaining = list(task.seeds)
+            failed = False
+            while remaining:
+                options = []
+                for seed in remaining:
+                    option = self._best_option(seed)
+                    if option is not None:
+                        options.append((option[0], seed, option))
+                if not options:
+                    failed = True
+                    break
+                options.sort(key=lambda item: (-item[0], item[1].seed_id))
+                _score, seed, (score, n, k, alloc) = options[0]
+                self._commit(seed, n, k, alloc)
+                committed.append(seed.seed_id)
+                remaining.remove(seed)
+            if failed:
+                for seed_id in committed:
+                    self._uncommit(seed_id)
+                if task.mandatory:
+                    raise PlacementError(
+                        f"mandatory task {task.task_id!r} cannot be placed")
+            else:
+                placed_tasks.append(task.task_id)
+        return placed_tasks
+
+    # ------------------------------------------------------------------
+    # Step 3: LP resource redistribution
+    # ------------------------------------------------------------------
+    def redistribute(self) -> None:
+        """Per-switch LP maximizing summed utility at fixed placement."""
+        for state in self.states.values():
+            if state.residents:
+                self._redistribute_switch(state)
+
+    def _redistribute_switch(self, state: _SwitchState) -> None:
+        problem = self.problem
+        lp = LinProgram(maximize=True)
+        res_vars: Dict[Tuple[str, str], int] = {}
+        poll_vars: Dict[FrozenSet, int] = {}
+        caps = {r: max(0.0, state.capacity.get(r, 0.0)
+                       - state.residue.get(r, 0.0))
+                for r in problem.resource_types}
+        for sid in state.residents:
+            seed = self._seed_by_id[sid]
+            piece = seed.utility.pieces[self.piece_choice[sid]]
+            for r in problem.resource_types:
+                res_vars[(sid, r)] = lp.add_var(
+                    f"res[{sid},{r}]", 0.0, state.capacity.get(r, 0.0))
+            index = {r: res_vars[(sid, r)] for r in problem.resource_types}
+            for constraint in piece.constraints:
+                row = _poly_row_named(constraint, index)
+                lp.add_constraint(row, lb=-constraint.const, ub=INF)
+            u_var = lp.add_var(f"u[{sid}]", 0.0, INF)
+            lp.add_objective_term(u_var, 1.0)
+            for term in piece.utility.terms:
+                con = {u_var: 1.0}
+                for var, coeff in _poly_row_named(term, index).items():
+                    con[var] = con.get(var, 0.0) - coeff
+                lp.add_constraint(con, lb=-INF, ub=term.const)
+            for demand in seed.poll_demands:
+                poll_var = poll_vars.get(demand.subject)
+                if poll_var is None:
+                    poll_var = lp.add_var(
+                        f"pollres[{len(poll_vars)}]", 0.0, INF)
+                    poll_vars[demand.subject] = poll_var
+                scale = problem.alpha(state.switch) * demand.weight
+                inv = demand.inv_interval
+                con = {poll_var: 1.0}
+                for var, coeff in inv.coeffs.items():
+                    idx = res_vars[(sid, var)]
+                    con[idx] = con.get(idx, 0.0) - scale * coeff
+                lp.add_constraint(con, lb=scale * inv.const, ub=INF)
+        # Capacity rows.
+        for r in problem.resource_types:
+            if r == problem.r_poll:
+                continue
+            row = {res_vars[(sid, r)]: 1.0 for sid in state.residents}
+            lp.add_constraint(row, lb=-INF, ub=caps[r])
+        if poll_vars:
+            poll_cap = state.capacity.get(problem.r_poll, 0.0)
+            for subject, rate in state.residue_poll.items():
+                poll_cap -= rate  # conservative: residue not aggregated
+            lp.add_constraint({v: 1.0 for v in poll_vars.values()},
+                              lb=-INF, ub=max(poll_cap, 0.0))
+        result = lp.solve_lp()
+        if not result.usable:
+            return  # keep minimal allocations; they were feasible
+        for sid in state.residents:
+            alloc = {r: max(0.0, result.value(res_vars[(sid, r)]))
+                     for r in problem.resource_types}
+            self.allocations[sid] = alloc
+        # Refresh accounting from the new allocations.
+        state.used = {r: sum(self.allocations[sid].get(r, 0.0)
+                             for sid in state.residents)
+                      for r in problem.resource_types
+                      if r != problem.r_poll}
+        self._recompute_poll_rates(state)
+
+    # ------------------------------------------------------------------
+    # Steps 4-5: migration
+    # ------------------------------------------------------------------
+    def migrate(self) -> int:
+        """Move seeds where they gain utility; returns number migrated."""
+        candidates: List[Tuple[float, str, int]] = []
+        for sid, current in self.placement.items():
+            seed = self._seed_by_id[sid]
+            if len(seed.candidates) < 2:
+                continue
+            env = {r: self.allocations[sid].get(r, 0.0)
+                   for r in self.problem.resource_types}
+            current_utility = seed.utility.evaluate(env)
+            for n in seed.candidates:
+                if n == current:
+                    continue
+                benefit = self._migration_benefit(seed, n, current_utility)
+                if benefit is not None and benefit > 1e-9:
+                    candidates.append((benefit, sid, n))
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        moved = 0
+        moved_ids = set()
+        for _benefit, sid, target in candidates:
+            if sid in moved_ids:
+                continue
+            seed = self._seed_by_id[sid]
+            option = self._best_alloc_on(seed, target)
+            if option is None:
+                continue
+            k, alloc, utility = option
+            env = {r: self.allocations[sid].get(r, 0.0)
+                   for r in self.problem.resource_types}
+            if utility <= seed.utility.evaluate(env) + 1e-9:
+                continue
+            source = self.placement[sid]
+            old_alloc = dict(self.allocations[sid])
+            old_piece = self.piece_choice[sid]
+            self._uncommit(sid)
+            self._commit(seed, target, k, alloc)
+            # Moving away from the seed's previous switch creates migration
+            # residue there (double occupancy, SIV-B-a); if that switch
+            # cannot absorb it, the migration is rejected and undone.
+            prev = self.problem.previous_placement.get(sid)
+            overloaded = (prev is not None and prev in self.states
+                          and not self._switch_feasible(self.states[prev]))
+            if overloaded:
+                self._uncommit(sid)
+                self._commit(seed, source, old_piece, old_alloc)
+                continue
+            moved_ids.add(sid)
+            moved += 1
+        return moved
+
+    def _switch_feasible(self, state: _SwitchState) -> bool:
+        for r in self.problem.resource_types:
+            if r == self.problem.r_poll:
+                continue
+            if state.free(r) < -1e-9:
+                return False
+        poll_cap = state.capacity.get(self.problem.r_poll, 0.0)
+        return state.poll_used() <= poll_cap + 1e-9
+
+    def _migration_benefit(self, seed: SeedSpec, target: int,
+                           current_utility: float) -> Optional[float]:
+        option = self._best_alloc_on(seed, target)
+        if option is None:
+            return None
+        _k, _alloc, utility = option
+        return utility - current_utility
+
+    def _best_alloc_on(self, seed: SeedSpec, target: int
+                       ) -> Optional[Tuple[int, Dict[str, float], float]]:
+        """Best (piece, alloc, utility) on ``target`` given spare capacity.
+
+        Uses the spare capacity greedily: minimal footprint, then pour the
+        remaining free resources into the utility's variables.
+        """
+        state = self.states[target]
+        best: Optional[Tuple[int, Dict[str, float], float]] = None
+        for k, piece in enumerate(seed.utility.pieces):
+            alloc = _minimal_alloc(piece, self.problem.resource_types)
+            if not self._fits(state, seed, alloc):
+                continue
+            # Pour spare resources into variables the utility rises with.
+            rich = dict(alloc)
+            for var in piece.utility.variables():
+                spare = state.free(var) - alloc.get(var, 0.0) \
+                    if var != self.problem.r_poll else 0.0
+                if var == self.problem.r_poll:
+                    # Polling allocation bounded by remaining poll headroom.
+                    headroom = (state.capacity.get(self.problem.r_poll, 0.0)
+                                - state.poll_used())
+                    spare = max(0.0, headroom)
+                rich[var] = alloc.get(var, 0.0) + max(0.0, spare)
+                rich[var] = min(rich[var],
+                                state.capacity.get(var, 0.0))
+            if not self._fits(state, seed, rich):
+                rich = alloc
+                if not self._fits(state, seed, rich):
+                    continue
+            env = {r: rich.get(r, 0.0) for r in self.problem.resource_types}
+            if not piece.feasible(env):
+                continue
+            utility = piece.utility.evaluate(env)
+            if best is None or utility > best[2]:
+                best = (k, dict(rich), utility)
+        return best
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def solve(self) -> PlacementSolution:
+        start = time.perf_counter()
+        placed_tasks = self.greedy_place()
+        if self.redistribute_enabled:
+            self.redistribute()
+        if self.migrate_enabled:
+            if self.migrate() and self.redistribute_enabled:
+                self.redistribute()
+        runtime = time.perf_counter() - start
+        objective = compute_objective(self.problem, self.placement,
+                                      self.allocations)
+        return PlacementSolution(
+            placement=dict(self.placement),
+            allocations={sid: dict(alloc)
+                         for sid, alloc in self.allocations.items()},
+            objective=objective, solver="heuristic", runtime_s=runtime,
+            placed_tasks=tuple(sorted(placed_tasks)), status="ok")
+
+
+def _poly_row_named(poly: LinPoly,
+                    index: Mapping[str, int]) -> Dict[int, float]:
+    row: Dict[int, float] = {}
+    for var, coeff in poly.coeffs.items():
+        try:
+            row[index[var]] = row.get(index[var], 0.0) + coeff
+        except KeyError:
+            raise PlacementError(
+                f"utility references unknown resource {var!r}") from None
+    return row
+
+
+def solve_heuristic(problem: PlacementProblem, redistribute: bool = True,
+                    migrate: bool = True) -> PlacementSolution:
+    """Run Alg. 1 on ``problem``."""
+    return HeuristicPlacementSolver(
+        problem, redistribute=redistribute, migrate=migrate).solve()

@@ -1,0 +1,174 @@
+"""Random placement-problem generator for the SVI-D experiment.
+
+"Testing involves up to 10 different tasks (cf. Tab. I) comprising up to
+10200 seeds and deploying them on 1040 switches.  For each seed count, we
+conduct 10 runs with varying resource and placement needs."
+
+Task templates mirror the shape of the Tab. I use cases: each has a
+resource-constraint profile (vCPU/RAM floors), a utility style (constant,
+linear in one resource, or min of two), and a polling profile.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.almanac.poly import (
+    ConcaveUtility,
+    LinPoly,
+    PiecewiseUtility,
+    UtilityPiece,
+)
+from repro.placement.model import (
+    PlacementProblem,
+    PollDemand,
+    SeedSpec,
+    TaskSpec,
+)
+from repro.switchsim.chassis import (
+    ACCTON_AS5712,
+    R_PCIE,
+    R_RAM,
+    R_VCPU,
+    RESOURCE_TYPES,
+    SwitchModel,
+)
+
+
+@dataclass(frozen=True)
+class TaskTemplate:
+    """Resource/utility shape of one Tab. I-style task."""
+
+    name: str
+    vcpu_floor: float
+    ram_floor: float
+    base_utility: float
+    utility_style: str  # "const" | "linear" | "min"
+    poll_weight: float  # atomic subjects touched per poll
+    shared_subject: bool  # True: polls a switch-wide subject (aggregatable)
+
+
+#: Profiles loosely following Tab. I's sixteen use cases.
+TASK_TEMPLATES: Tuple[TaskTemplate, ...] = (
+    TaskTemplate("heavy_hitter", 0.5, 64, 40.0, "min", 8.0, True),
+    TaskTemplate("hierarchical_hh", 0.5, 96, 35.0, "min", 8.0, True),
+    TaskTemplate("ddos", 1.0, 128, 60.0, "linear", 16.0, True),
+    TaskTemplate("new_tcp_conn", 0.25, 32, 15.0, "const", 4.0, True),
+    TaskTemplate("syn_flood", 0.5, 64, 50.0, "linear", 8.0, True),
+    TaskTemplate("partial_tcp_flow", 0.5, 96, 30.0, "min", 8.0, False),
+    TaskTemplate("slowloris", 0.25, 64, 25.0, "linear", 4.0, False),
+    TaskTemplate("link_failure", 0.25, 32, 55.0, "const", 2.0, True),
+    TaskTemplate("traffic_change", 0.25, 32, 20.0, "const", 4.0, True),
+    TaskTemplate("superspreader", 0.5, 96, 45.0, "min", 8.0, True),
+)
+
+
+def _utility_for(template: TaskTemplate, rng: random.Random) -> PiecewiseUtility:
+    """Build a randomized piecewise utility following the template style."""
+    vcpu_floor = template.vcpu_floor * rng.uniform(0.8, 1.2)
+    ram_floor = template.ram_floor * rng.uniform(0.8, 1.2)
+    constraints = (
+        LinPoly({R_VCPU: 1.0}, -vcpu_floor),
+        LinPoly({R_RAM: 1.0}, -ram_floor),
+    )
+    base = template.base_utility * rng.uniform(0.9, 1.1)
+    if template.utility_style == "const":
+        utility = ConcaveUtility.constant(base)
+    elif template.utility_style == "linear":
+        slope = rng.uniform(5.0, 20.0)
+        utility = ConcaveUtility.linear(
+            LinPoly({R_VCPU: slope}, base))
+    else:  # min
+        slope = rng.uniform(5.0, 20.0)
+        utility = ConcaveUtility((
+            LinPoly({R_VCPU: slope}, base),
+            LinPoly({R_PCIE: slope / 50.0}, base),
+        ))
+    return PiecewiseUtility([UtilityPiece(constraints=constraints,
+                                          utility=utility)])
+
+
+def _poll_demand_for(template: TaskTemplate, task_index: int,
+                     rng: random.Random) -> PollDemand:
+    """Polling demand: inverse interval grows with allocated PCIe units.
+
+    Shared-subject tasks poll the canonical all-ports subject so co-located
+    seeds of different tasks aggregate; others poll a task-private subject.
+    """
+    if template.shared_subject:
+        subject = frozenset({("port", "all")})
+    else:
+        subject = frozenset({("tcam", f"{template.name}:{task_index}")})
+    # inv_ival = PCIe / 10 (List. 2's ival = 10 / PCIe), plus a small floor.
+    inv = LinPoly({R_PCIE: rng.uniform(0.05, 0.15)}, rng.uniform(0.0, 1.0))
+    return PollDemand(subject=subject, inv_interval=inv,
+                      weight=template.poll_weight)
+
+
+def generate_problem(num_seeds: int, num_switches: int,
+                     num_tasks: int = 10,
+                     seed: int = 0,
+                     model: SwitchModel = ACCTON_AS5712,
+                     candidate_fanout: int = 3,
+                     previous_fraction: float = 0.0,
+                     ) -> PlacementProblem:
+    """Generate one SVI-D instance.
+
+    Seeds are distributed round-robin over ``num_tasks`` task instances;
+    each seed's ``N^s`` is a random subset of ``candidate_fanout`` switches.
+    ``previous_fraction`` of the seeds get a previous placement so that
+    migration accounting participates.
+    """
+    if num_seeds <= 0 or num_switches <= 0:
+        raise ValueError("need positive seed and switch counts")
+    rng = random.Random(seed)
+    switch_ids = list(range(1, num_switches + 1))
+    available = {}
+    for n in switch_ids:
+        base = model.available_resources()
+        # Heterogeneous fleet: +/-25% capacity jitter.
+        available[n] = {r: v * rng.uniform(0.75, 1.25)
+                        for r, v in base.items()}
+    num_tasks = max(1, min(num_tasks, num_seeds))
+    tasks: List[TaskSpec] = []
+    previous_placement: Dict[str, int] = {}
+    previous_allocations: Dict[str, Dict[str, float]] = {}
+    seeds_per_task = [num_seeds // num_tasks] * num_tasks
+    for i in range(num_seeds % num_tasks):
+        seeds_per_task[i] += 1
+    for task_index in range(num_tasks):
+        template = TASK_TEMPLATES[task_index % len(TASK_TEMPLATES)]
+        task_id = f"{template.name}#{task_index}"
+        seeds: List[SeedSpec] = []
+        for seed_index in range(seeds_per_task[task_index]):
+            fanout = min(candidate_fanout, num_switches)
+            candidates = tuple(sorted(rng.sample(switch_ids, fanout)))
+            utility = _utility_for(template, rng)
+            demand = _poll_demand_for(template, task_index, rng)
+            seed_id = f"{task_id}/s{seed_index}"
+            seeds.append(SeedSpec(seed_id=seed_id, task_id=task_id,
+                                  candidates=candidates, utility=utility,
+                                  poll_demands=(demand,)))
+            if rng.random() < previous_fraction:
+                prev = rng.choice(candidates)
+                previous_placement[seed_id] = prev
+                piece = utility.pieces[0]
+                alloc = {r: 0.0 for r in RESOURCE_TYPES}
+                for constraint in piece.constraints:
+                    if len(constraint.coeffs) == 1:
+                        (var, coeff), = constraint.coeffs.items()
+                        if coeff > 0:
+                            alloc[var] = max(alloc[var],
+                                             -constraint.const / coeff)
+                previous_allocations[seed_id] = alloc
+        tasks.append(TaskSpec(task_id=task_id, seeds=seeds))
+    return PlacementProblem(
+        tasks=tasks,
+        available=available,
+        resource_types=RESOURCE_TYPES,
+        r_poll=R_PCIE,
+        previous_placement=previous_placement,
+        previous_allocations=previous_allocations,
+    )

@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel for the FARM reproduction."""
+
+from repro.sim.engine import (
+    MICROS,
+    MILLIS,
+    Event,
+    PeriodicTimer,
+    Simulator,
+)
+from repro.sim.process import Process, Signal, Sleep, WaitFor, spawn
+from repro.sim.resources import CapacityMeter, TokenPool, UtilizationSample
+
+__all__ = [
+    "MICROS",
+    "MILLIS",
+    "Event",
+    "PeriodicTimer",
+    "Simulator",
+    "Process",
+    "Signal",
+    "Sleep",
+    "WaitFor",
+    "spawn",
+    "CapacityMeter",
+    "TokenPool",
+    "UtilizationSample",
+]

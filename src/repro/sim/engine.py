@@ -1,0 +1,272 @@
+"""Discrete-event simulation kernel.
+
+The entire FARM reproduction runs on this kernel: the switch emulator, the
+seed/soil/harvester runtime, and every baseline system schedule their work as
+events on a shared :class:`Simulator`.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds**.  Evaluation figures quote milliseconds;
+  helpers :data:`MILLIS` and :data:`MICROS` keep call sites readable.
+* Events fire in ``(time, priority, sequence)`` order, so two events scheduled
+  for the same instant fire in scheduling order unless priorities differ.
+  This determinism is load-bearing: tests assert exact orderings.
+* Cancellation is O(1) (a tombstone flag); the heap lazily discards dead
+  entries on pop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import SimulationError
+
+#: One millisecond, in simulator time units (seconds).
+MILLIS = 1e-3
+#: One microsecond, in simulator time units (seconds).
+MICROS = 1e-6
+
+#: Default priority for scheduled events; lower fires first at equal times.
+NORMAL_PRIORITY = 0
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    priority: int
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; hold onto it to :meth:`cancel`.
+    """
+
+    __slots__ = ("callback", "args", "cancelled", "fired", "label")
+
+    def __init__(self, callback: Callable[..., None], args: tuple,
+                 label: str = "") -> None:
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; no-op if fired."""
+        self.cancelled = True
+
+    @property
+    def alive(self) -> bool:
+        """True while the event is still pending."""
+        return not (self.cancelled or self.fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else "cancelled" if self.cancelled else "pending"
+        return f"<Event {self.label or self.callback!r} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(1.0, lambda: out.append(sim.now))
+    >>> sim.run()
+    >>> out
+    [1.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far (diagnostic)."""
+        return self._event_count
+
+    def pending(self) -> int:
+        """Number of live events still in the queue."""
+        return sum(1 for entry in self._heap if entry.event.alive)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any,
+                 priority: int = NORMAL_PRIORITY, label: str = "") -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        ``delay`` must be non-negative and finite; scheduling into the past
+        raises :class:`SimulationError`.
+        """
+        if delay < 0 or math.isnan(delay) or math.isinf(delay):
+            raise SimulationError(f"invalid event delay: {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args,
+                                priority=priority, label=label)
+
+    def schedule_at(self, when: float, callback: Callable[..., None],
+                    *args: Any, priority: int = NORMAL_PRIORITY,
+                    label: str = "") -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when}: simulation time is {self._now}")
+        event = Event(callback, args, label=label)
+        heapq.heappush(
+            self._heap, _HeapEntry(when, priority, next(self._seq), event))
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False when the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._now = entry.time
+            event.fired = True
+            self._event_count += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time at which execution stopped.  When
+        stopping on ``until``, time is advanced to exactly ``until`` (events
+        scheduled at later times remain queued).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                entry = self._heap[0]
+                if entry.event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and entry.time > until:
+                    break
+                if not self.step():
+                    break
+                fired += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def every(self, interval: float, callback: Callable[..., None], *args: Any,
+              start_after: Optional[float] = None, label: str = "") -> "PeriodicTimer":
+        """Create a periodic timer firing ``callback`` every ``interval``.
+
+        The first firing happens after ``start_after`` (defaults to one
+        interval).  The returned timer supports :meth:`PeriodicTimer.stop` and
+        dynamic :meth:`PeriodicTimer.reschedule`.
+        """
+        timer = PeriodicTimer(self, interval, callback, args, label=label)
+        timer.start(start_after)
+        return timer
+
+
+class PeriodicTimer:
+    """Repeatedly fires a callback at a (dynamically adjustable) interval.
+
+    Seeds use this for ``poll``/``time`` trigger variables, whose periods can
+    be reassigned at runtime (SIII-A-d: "assignments ... to trigger variables
+    (e.g., to modify polling rates)").
+    """
+
+    def __init__(self, sim: Simulator, interval: float,
+                 callback: Callable[..., None], args: tuple = (),
+                 label: str = "") -> None:
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive: {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self._event: Optional[Event] = None
+        self._stopped = True
+        self.fire_count = 0
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self, start_after: Optional[float] = None) -> None:
+        """Arm the timer; first firing after ``start_after`` (default: interval)."""
+        self._stopped = False
+        delay = self.interval if start_after is None else start_after
+        self._event = self.sim.schedule(delay, self._fire, label=self.label)
+
+    def stop(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def reschedule(self, interval: float) -> None:
+        """Change the period.  Takes effect for the *next* firing."""
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive: {interval}")
+        self.interval = interval
+        if not self._stopped:
+            if self._event is not None:
+                self._event.cancel()
+            self._event = self.sim.schedule(interval, self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fire_count += 1
+        # Schedule the next firing before running the callback so the callback
+        # may call reschedule()/stop() and win.
+        self._event = self.sim.schedule(self.interval, self._fire, label=self.label)
+        self.callback(*self.args)
+
+
+def exponential_backoff(base: float, attempt: int, cap: float) -> float:
+    """Deterministic capped exponential backoff used by retry loops."""
+    return min(cap, base * (2 ** attempt))
+
+
+def iter_times(start: float, interval: float, end: float) -> Iterator[float]:
+    """Yield ``start, start+interval, ...`` up to and including ``end``."""
+    if interval <= 0:
+        raise SimulationError("interval must be positive")
+    t = start
+    while t <= end + 1e-12:
+        yield t
+        t += interval

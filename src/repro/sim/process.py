@@ -1,0 +1,126 @@
+"""Generator-based cooperative processes on top of the event kernel.
+
+A :class:`Process` wraps a Python generator that yields *commands*:
+
+* ``yield Sleep(dt)``       — resume after ``dt`` seconds.
+* ``yield WaitFor(signal)`` — resume when the :class:`Signal` fires; the
+  value passed to :meth:`Signal.fire` becomes the ``yield`` expression value.
+
+This is deliberately a small subset of SimPy: FARM components are mostly
+callback-driven (timers, message handlers), but traffic generators and a few
+integration tests read much more naturally as processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class Sleep:
+    """Yielded by a process to suspend for ``duration`` seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise SimulationError(f"cannot sleep a negative duration: {duration}")
+        self.duration = duration
+
+
+class Signal:
+    """A one-to-many wake-up notification.
+
+    Processes wait on a signal with ``yield WaitFor(signal)``; plain callbacks
+    subscribe with :meth:`subscribe`.  Firing delivers a single value to every
+    waiter registered at fire time and resets the waiter list.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_value: Any = None
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)`` for the next firing only."""
+        self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+        return len(waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
+
+
+class WaitFor:
+    """Yielded by a process to suspend until ``signal`` fires."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+
+class Process:
+    """Drives a generator through the simulator.
+
+    The process is *finished* when the generator returns or raises
+    ``StopIteration``; the return value is stored in :attr:`result`.
+    Exceptions raised inside the generator propagate out of the simulator's
+    ``run()`` — silent failure would hide bugs in workload scripts.
+    """
+
+    def __init__(self, sim: Simulator,
+                 generator: Generator[Any, Any, Any],
+                 name: str = "") -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name or repr(generator)
+        self.finished = False
+        self.result: Any = None
+        self.done = Signal(f"{self.name}.done")
+        sim.schedule(0.0, self._advance, None, label=f"start {self.name}")
+
+    def _advance(self, sent_value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            command = self.generator.send(sent_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done.fire(stop.value)
+            return
+        if isinstance(command, Sleep):
+            self.sim.schedule(command.duration, self._advance, None,
+                              label=f"wake {self.name}")
+        elif isinstance(command, WaitFor):
+            command.signal.subscribe(self._advance)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command "
+                f"{command!r}; expected Sleep or WaitFor")
+
+
+def spawn(sim: Simulator, generator: Generator[Any, Any, Any],
+          name: str = "") -> Process:
+    """Start ``generator`` as a process on ``sim``."""
+    return Process(sim, generator, name=name)
+
+
+def run_process(generator_fn: Callable[[Simulator], Generator[Any, Any, Any]],
+                until: Optional[float] = None) -> Any:
+    """Convenience: run a single process on a fresh simulator, return result."""
+    sim = Simulator()
+    proc = spawn(sim, generator_fn(sim), name=getattr(generator_fn, "__name__", "proc"))
+    sim.run(until=until)
+    return proc.result

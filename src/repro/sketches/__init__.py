@@ -1,0 +1,26 @@
+"""Probabilistic sketches for data-plane-style monitoring.
+
+SVIII lists "the integration of sketches into FARM" as future work; this
+subpackage implements it: classic streaming sketches with accuracy
+guarantees (Count-Min [49]-style frequency estimation, HyperLogLog
+distinct counting as used by super-spreader detectors [13][48], and a
+sliding-window rate estimator), exposed to Almanac seeds as builtins via
+:func:`install_sketch_builtins`.
+
+Sketches let a seed track per-flow state in bounded memory: a
+heavy-hitter seed can count bytes per 5-tuple in a Count-Min sketch
+instead of an exact map, trading a small, *bounded* overestimate for O(1)
+memory — the resource model's RAM constraint becomes meaningful.
+"""
+
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.window import SlidingWindowCounter
+from repro.sketches.almanac_bridge import install_sketch_builtins
+
+__all__ = [
+    "CountMinSketch",
+    "HyperLogLog",
+    "SlidingWindowCounter",
+    "install_sketch_builtins",
+]

@@ -1,0 +1,85 @@
+"""Exposing sketches to Almanac seeds (the SVIII integration).
+
+:func:`install_sketch_builtins` registers sketch constructors and
+operations as soil-wide external programs reachable from Almanac via
+builtins, e.g.::
+
+    list cms = cmSketch(0.01, 0.01);
+    cmUpdate(cms, p.src_ip, p.size);
+    if (cmQuery(cms, p.src_ip) >= threshold) then { ... }
+
+Seeds hold sketches in ordinary ``list`` variables (the interpreter is
+dynamically typed); sketch state participates in migration snapshots like
+any other machine variable because the sketches are plain Python objects
+with by-reference semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.window import SlidingWindowCounter
+
+
+def sketch_builtins() -> Dict[str, Callable[..., Any]]:
+    """The Almanac-callable sketch API."""
+    return {
+        # Count-Min
+        "cmSketch": lambda epsilon=0.001, delta=0.01: CountMinSketch(
+            epsilon=float(epsilon), delta=float(delta)),
+        "cmUpdate": lambda sketch, key, amount=1: (
+            sketch.update(key, float(amount)), sketch)[1],
+        "cmQuery": lambda sketch, key: sketch.query(key),
+        "cmTotal": lambda sketch: sketch.total,
+        "cmClear": lambda sketch: (sketch.clear(), sketch)[1],
+        # HyperLogLog
+        "hllSketch": lambda precision=12: HyperLogLog(int(precision)),
+        "hllAdd": lambda sketch, value: (sketch.add(value), sketch)[1],
+        "hllCount": lambda sketch: sketch.count(),
+        "hllClear": lambda sketch: (sketch.clear(), sketch)[1],
+        # Sliding window
+        "swCounter": lambda window_s, buckets=10: SlidingWindowCounter(
+            float(window_s), int(buckets)),
+        "swAdd": lambda counter, value, now: (
+            counter.add(float(value), float(now)), counter)[1],
+        "swTotal": lambda counter, now: counter.total(float(now)),
+        "swRate": lambda counter, now: counter.rate(float(now)),
+    }
+
+
+def install_sketch_builtins(soil) -> None:
+    """Make the sketch API available to every seed deployed on ``soil``.
+
+    The functions become ordinary Almanac builtins for seeds deployed
+    *after* the call, in addition to being reachable via ``exec()`` (for
+    multi-argument exec calls, pass a list:
+    ``exec("cmUpdate", [cms, key, size])``).
+    """
+    costs = {
+        "cmSketch": 5e-6, "cmUpdate": 0.5e-6, "cmQuery": 0.5e-6,
+        "cmTotal": 0.1e-6, "cmClear": 2e-6,
+        "hllSketch": 5e-6, "hllAdd": 0.3e-6, "hllCount": 20e-6,
+        "hllClear": 2e-6,
+        "swCounter": 1e-6, "swAdd": 0.2e-6, "swTotal": 0.5e-6,
+        "swRate": 0.5e-6,
+    }
+    for name, fn in sketch_builtins().items():
+        soil.extra_builtins[name] = fn
+        soil.register_external(
+            name, _Variadic(fn), cpu_cost_s=costs.get(name, 1e-6))
+
+
+class _Variadic:
+    """Adapt exec()'s single-argument convention to the sketch API."""
+
+    def __init__(self, fn: Callable[..., Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, arg: Any) -> Any:
+        if arg is None:
+            return self.fn()
+        if isinstance(arg, list):
+            return self.fn(*arg)
+        return self.fn(arg)

@@ -1,0 +1,108 @@
+"""Count-Min sketch: frequency estimation in sublinear space.
+
+Guarantees (Cormode & Muthukrishnan): with width ``w = ceil(e / eps)``
+and depth ``d = ceil(ln(1 / delta))``, the estimate ``f'`` of a key's
+true count ``f`` satisfies ``f <= f' <= f + eps * N`` with probability
+at least ``1 - delta``, where ``N`` is the total count inserted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import FarmError
+
+#: Large primes for the pairwise-independent hash family.
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class CountMinSketch:
+    """A Count-Min sketch over hashable keys with non-negative updates."""
+
+    def __init__(self, epsilon: float = 0.001, delta: float = 0.01,
+                 seed: int = 0) -> None:
+        if not 0 < epsilon < 1:
+            raise FarmError(f"epsilon must be in (0,1): {epsilon}")
+        if not 0 < delta < 1:
+            raise FarmError(f"delta must be in (0,1): {delta}")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.width = max(1, math.ceil(math.e / epsilon))
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self._rows: List[List[float]] = [
+            [0.0] * self.width for _ in range(self.depth)]
+        # Pairwise-independent hashes: h_i(x) = (a_i * x + b_i) mod p mod w
+        rng = _SplitMix(seed)
+        self._hash_params: List[Tuple[int, int]] = [
+            (rng.next() % (_MERSENNE_PRIME - 1) + 1,
+             rng.next() % _MERSENNE_PRIME)
+            for _ in range(self.depth)]
+        self.total = 0.0
+
+    # ------------------------------------------------------------------
+    def _indices(self, key: Hashable) -> Iterable[int]:
+        digest = hash(key) & 0x7FFFFFFFFFFFFFFF
+        for a, b in self._hash_params:
+            yield ((a * digest + b) % _MERSENNE_PRIME) % self.width
+
+    def update(self, key: Hashable, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the key's count."""
+        if amount < 0:
+            raise FarmError("Count-Min supports non-negative updates only")
+        self.total += amount
+        for row, index in zip(self._rows, self._indices(key)):
+            row[index] += amount
+
+    def query(self, key: Hashable) -> float:
+        """Estimated count: never below the truth, overshoot bounded by
+        ``epsilon * total`` w.p. ``1 - delta``."""
+        return min(row[index]
+                   for row, index in zip(self._rows, self._indices(key)))
+
+    def heavy_keys(self, candidates: Iterable[Hashable],
+                   threshold: float) -> List[Hashable]:
+        """Candidates whose estimate crosses ``threshold`` (no false
+        negatives thanks to one-sided error)."""
+        return [key for key in candidates if self.query(key) >= threshold]
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "CountMinSketch") -> None:
+        """Merge a same-shape sketch (e.g. from another switch) in place."""
+        if (self.width, self.depth) != (other.width, other.depth) \
+                or self._hash_params != other._hash_params:
+            raise FarmError("can only merge identically-configured sketches")
+        for mine, theirs in zip(self._rows, other._rows):
+            for index in range(self.width):
+                mine[index] += theirs[index]
+        self.total += other.total
+
+    def clear(self) -> None:
+        for row in self._rows:
+            for index in range(self.width):
+                row[index] = 0.0
+        self.total = 0.0
+
+    @property
+    def memory_cells(self) -> int:
+        """Counter cells held — the bounded-memory selling point."""
+        return self.width * self.depth
+
+    def error_bound(self) -> float:
+        """Additive overestimate bound that holds w.p. ``1 - delta``."""
+        return self.epsilon * self.total
+
+
+class _SplitMix:
+    """Tiny deterministic PRNG (SplitMix64) for hash-parameter seeding."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = (seed * 0x9E3779B97F4A7C15 + 1) & 0xFFFFFFFFFFFFFFFF
+
+    def next(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) \
+            & 0xFFFFFFFFFFFFFFFF
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return z ^ (z >> 31)

@@ -1,0 +1,61 @@
+"""Sliding-window rate estimation in O(buckets) memory.
+
+Seeds estimating "bytes in the last W seconds" cannot keep per-event
+history; the classic bucketed sliding window (a simplification of
+Datar et al.'s exponential histograms) trades a ``1/num_buckets``
+relative window error for constant memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import FarmError
+
+
+class SlidingWindowCounter:
+    """Sum of values observed in the trailing ``window_s`` seconds."""
+
+    def __init__(self, window_s: float, num_buckets: int = 10) -> None:
+        if window_s <= 0:
+            raise FarmError(f"window must be positive: {window_s}")
+        if num_buckets < 1:
+            raise FarmError(f"need at least one bucket: {num_buckets}")
+        self.window_s = window_s
+        self.num_buckets = num_buckets
+        self.bucket_s = window_s / num_buckets
+        # (bucket_index, sum) ring; bucket_index = floor(t / bucket_s)
+        self._buckets: List[Tuple[int, float]] = []
+
+    def _evict(self, now: float) -> None:
+        horizon = int(now / self.bucket_s) - self.num_buckets
+        self._buckets = [(index, value) for index, value in self._buckets
+                         if index > horizon]
+
+    def add(self, value: float, now: float) -> None:
+        """Record ``value`` at time ``now`` (non-decreasing)."""
+        self._evict(now)
+        index = int(now / self.bucket_s)
+        if self._buckets and self._buckets[-1][0] == index:
+            last_index, last_value = self._buckets[-1]
+            self._buckets[-1] = (last_index, last_value + value)
+        elif self._buckets and self._buckets[-1][0] > index:
+            raise FarmError("sliding window requires non-decreasing time")
+        else:
+            self._buckets.append((index, value))
+
+    def total(self, now: float) -> float:
+        """Sum over the trailing window as of ``now``."""
+        self._evict(now)
+        return sum(value for _index, value in self._buckets)
+
+    def rate(self, now: float) -> float:
+        """Average rate (units/second) over the trailing window."""
+        return self.total(now) / self.window_s
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    @property
+    def memory_cells(self) -> int:
+        return self.num_buckets

@@ -1,0 +1,54 @@
+"""Switch emulator: ASIC, TCAM, PCIe bus, management CPU, drivers."""
+
+from repro.switchsim.asic import Asic, PortStats, RuleStats
+from repro.switchsim.chassis import (
+    ACCTON_AS5712,
+    ACCTON_AS7712,
+    APS_BF2556X,
+    ARISTA_7280QRA,
+    PCIE_UNIT_BPS,
+    PLATFORMS,
+    R_PCIE,
+    R_RAM,
+    R_TCAM,
+    R_VCPU,
+    RESOURCE_TYPES,
+    Switch,
+    SwitchFleet,
+    SwitchModel,
+)
+from repro.switchsim.cpu import (
+    CONTEXT_SWITCH_COST_S,
+    ManagementCpu,
+    estimate_invocation_load,
+)
+from repro.switchsim.pcie import (
+    BYTES_PER_COUNTER,
+    BYTES_PER_SAMPLE,
+    PcieBus,
+)
+from repro.switchsim.stratum import (
+    EosSdkDriver,
+    StratumDriver,
+    SwitchDriver,
+    driver_for,
+)
+from repro.switchsim.tcam import (
+    FORWARDING,
+    MONITORING,
+    RuleAction,
+    Tcam,
+    TcamRule,
+)
+
+__all__ = [
+    "Asic", "PortStats", "RuleStats",
+    "ACCTON_AS5712", "ACCTON_AS7712", "APS_BF2556X", "ARISTA_7280QRA",
+    "PCIE_UNIT_BPS", "PLATFORMS",
+    "R_PCIE", "R_RAM", "R_TCAM", "R_VCPU", "RESOURCE_TYPES",
+    "Switch", "SwitchFleet", "SwitchModel",
+    "CONTEXT_SWITCH_COST_S", "ManagementCpu", "estimate_invocation_load",
+    "BYTES_PER_COUNTER", "BYTES_PER_SAMPLE", "PcieBus",
+    "EosSdkDriver", "StratumDriver", "SwitchDriver", "driver_for",
+    "FORWARDING", "MONITORING", "RuleAction", "Tcam", "TcamRule",
+]

@@ -1,0 +1,267 @@
+"""Forwarding-ASIC model.
+
+The ASIC carries attached rate-based flows between ports, maintains exact
+per-port and per-TCAM-rule counters (integrals of flow rates), applies rule
+actions (drop / rate-limit / QoS), and materializes packet samples for
+probing.  Its internal bandwidth dwarfs the PCIe management path (SVI-E-a
+measures a 1:12500 ratio), which is why counter values live *here* and every
+read must cross the :class:`~repro.switchsim.pcie.PcieBus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SwitchError
+from repro.net.filters import Filter
+from repro.net.packet import Flow, Packet
+from repro.sim.engine import Simulator
+from repro.sim.resources import CapacityMeter
+from repro.switchsim.tcam import RuleAction, Tcam, TcamRule
+
+
+@dataclass
+class PortStats:
+    """Snapshot of one port's counters at a point in time."""
+
+    port: int
+    time: float
+    tx_bytes: float
+    tx_packets: float
+    rate_bps: float  # instantaneous rate at snapshot time
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"port": self.port, "time": self.time,
+                "tx_bytes": self.tx_bytes, "tx_packets": self.tx_packets,
+                "rate_bps": self.rate_bps}
+
+
+@dataclass
+class RuleStats:
+    """Snapshot of one TCAM rule's hit counters."""
+
+    rule_id: int
+    time: float
+    matched_bytes: float
+    matched_packets: float
+
+
+@dataclass
+class _Attachment:
+    flow: Flow
+    in_port: int
+    out_port: int
+    attached_at: float
+    detached_at: Optional[float] = None
+
+    def active_at(self, time: float) -> bool:
+        return (self.attached_at <= time
+                and (self.detached_at is None or time < self.detached_at))
+
+    def window(self, t0: float, t1: float) -> Tuple[float, float]:
+        lo = max(t0, self.attached_at)
+        hi = t1 if self.detached_at is None else min(t1, self.detached_at)
+        return lo, hi
+
+
+class Asic:
+    """The packet-processing domain of a switch.
+
+    Implements the :class:`~repro.net.traffic.TrafficSink` protocol so
+    workloads can attach flows directly.
+    """
+
+    def __init__(self, sim: Simulator, num_ports: int = 48,
+                 line_rate_bps: float = 1.25e10,
+                 tcam: Optional[Tcam] = None, name: str = "asic") -> None:
+        if num_ports <= 0:
+            raise SwitchError(f"port count must be positive: {num_ports}")
+        self.sim = sim
+        self.num_ports = num_ports
+        self.name = name
+        self.tcam = tcam if tcam is not None else Tcam(capacity=2048)
+        #: Aggregate fabric bandwidth; Fig. 8's "ASIC bus".
+        self.fabric = CapacityMeter(sim, capacity=line_rate_bps * num_ports,
+                                    name=f"{name}.fabric")
+        self._attachments: List[_Attachment] = []
+        self._by_flow: Dict[int, _Attachment] = {}
+
+    # ------------------------------------------------------------------
+    # TrafficSink protocol
+    # ------------------------------------------------------------------
+    def attach_flow(self, flow: Flow, in_port: int, out_port: int) -> None:
+        """Begin carrying ``flow`` from ``in_port`` to ``out_port``."""
+        for port in (in_port, out_port):
+            self._check_port(port)
+        if id(flow) in self._by_flow:
+            raise SwitchError(f"flow already attached: {flow!r}")
+        attachment = _Attachment(flow, in_port, out_port, self.sim.now)
+        self._attachments.append(attachment)
+        self._by_flow[id(flow)] = attachment
+        self.fabric.add_demand(flow.rate_bps)
+
+    def detach_flow(self, flow: Flow) -> None:
+        """Stop carrying ``flow``; its counters freeze at the detach time."""
+        attachment = self._by_flow.pop(id(flow), None)
+        if attachment is None:
+            raise SwitchError(f"flow not attached: {flow!r}")
+        attachment.detached_at = self.sim.now
+        self.fabric.remove_demand(flow.rate_at(self.sim.now))
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.num_ports:
+            raise SwitchError(
+                f"port {port} out of range (switch has {self.num_ports})")
+
+    # ------------------------------------------------------------------
+    # Rule effects on flows
+    # ------------------------------------------------------------------
+    def _rule_applies(self, rule: TcamRule, attachment: _Attachment) -> bool:
+        """Does a rule match this flow, including switch-port constraints?
+
+        ``port <n>`` filters are interface constraints; they are vacuous on
+        bare flow keys but the ASIC dispatches per port, so they are
+        enforced here against the attachment's ports.
+        """
+        if not rule.matches_key(attachment.flow.key):
+            return False
+        ports = rule.pattern.switch_ports()
+        if ports is None:
+            return True
+        from repro.net.filters import ANY_PORT
+        if ANY_PORT in ports:
+            return True
+        return attachment.out_port in ports or attachment.in_port in ports
+
+    def _matching_rule(self, attachment: _Attachment) -> Optional[TcamRule]:
+        self.tcam._ensure_sorted()
+        for rule in self.tcam._sorted:
+            if self._rule_applies(rule, attachment):
+                return rule
+        return None
+
+    def _effective_rate(self, attachment: _Attachment, time: float) -> float:
+        """Flow rate after TCAM actions (drop / rate-limit) are applied."""
+        rate = attachment.flow.rate_at(time)
+        rule = self._matching_rule(attachment)
+        if rule is None:
+            return rate
+        if rule.action is RuleAction.DROP:
+            return 0.0
+        if rule.action is RuleAction.RATE_LIMIT:
+            limit = float(rule.params.get("rate_bps", rate))
+            return min(rate, limit)
+        return rate
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def read_port_stats(self, port: int) -> PortStats:
+        """Exact counters for ``port`` as of now (egress accounting)."""
+        self._check_port(port)
+        now = self.sim.now
+        tx_bytes = 0.0
+        tx_packets = 0.0
+        rate = 0.0
+        for attachment in self._attachments:
+            if attachment.out_port != port:
+                continue
+            lo, hi = attachment.window(0.0, now)
+            if hi > lo:
+                tx_bytes += attachment.flow.bytes_between(lo, hi)
+                tx_packets += attachment.flow.packets_between(lo, hi)
+            if attachment.active_at(now):
+                rate += self._effective_rate(attachment, now)
+        return PortStats(port, now, tx_bytes, tx_packets, rate)
+
+    def read_all_port_stats(self) -> List[PortStats]:
+        return [self.read_port_stats(port) for port in range(self.num_ports)]
+
+    def read_rule_stats(self, rule_id: int) -> RuleStats:
+        """Hit counters for one TCAM rule since its installation."""
+        rule = self.tcam.get(rule_id)
+        now = self.sim.now
+        matched_bytes = 0.0
+        matched_packets = 0.0
+        for attachment in self._attachments:
+            if not self._rule_applies(rule, attachment):
+                continue
+            # Only the highest-priority matching rule counts a flow.
+            if self._matching_rule(attachment) is not rule:
+                continue
+            lo, hi = attachment.window(rule.installed_at, now)
+            if hi > lo:
+                matched_bytes += attachment.flow.bytes_between(lo, hi)
+                matched_packets += attachment.flow.packets_between(lo, hi)
+        return RuleStats(rule_id, now, matched_bytes, matched_packets)
+
+    # ------------------------------------------------------------------
+    # Probing (packet sampling)
+    # ------------------------------------------------------------------
+    def sample_packets(self, fil: Filter, max_packets: int = 16) -> List[Packet]:
+        """Materialize up to ``max_packets`` representative packets.
+
+        Sampling is rate-proportional and deterministic: the sample budget
+        is split across matching flows by largest-remainder apportionment
+        of their current rates, so an elephant contributes many samples
+        and a mouse few or none — exactly how a hardware sampler's output
+        is distributed.  Equal-rate flows split the budget evenly (breadth
+        for scan/flood detectors); a dominant flow crowds the batch (rate
+        concentration for entropy/volume detectors).
+        """
+        now = self.sim.now
+        active = [a for a in self._attachments if a.active_at(now)
+                  and self._effective_rate(a, now) > 0
+                  and fil.matches_key(a.flow.key,
+                                      tcp_flags=a.flow.default_tcp_flags)]
+        active.sort(key=lambda a: (-a.flow.rate_at(now), a.flow.key.src_ip,
+                                   a.flow.key.src_port))
+        if not active:
+            return []
+        if len(active) >= max_packets:
+            # More flows than budget: one sample each for the heaviest.
+            return [a.flow.sample_packet(now) for a in active[:max_packets]]
+        total_rate = sum(self._effective_rate(a, now) for a in active)
+        shares = [self._effective_rate(a, now) / total_rate * max_packets
+                  for a in active]
+        counts = [int(share) for share in shares]
+        remainders = sorted(range(len(active)),
+                            key=lambda i: shares[i] - counts[i],
+                            reverse=True)
+        leftover = max_packets - sum(counts)
+        for index in remainders[:leftover]:
+            counts[index] += 1
+        packets: List[Packet] = []
+        for attachment, count in zip(active, counts):
+            packets.extend(attachment.flow.sample_packet(now)
+                           for _ in range(count))
+        return packets
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def active_flows(self) -> List[Flow]:
+        now = self.sim.now
+        return [a.flow for a in self._attachments if a.active_at(now)]
+
+    def ports_with_traffic(self) -> List[int]:
+        now = self.sim.now
+        return sorted({a.out_port for a in self._attachments
+                       if a.active_at(now) and a.flow.rate_at(now) > 0})
+
+    def refresh_fabric_demand(self) -> None:
+        """Re-derive fabric demand from current flow rates.
+
+        Flow rates can change behind the ASIC's back (workload churn calls
+        ``Flow.set_rate`` directly), so meters are refreshed lazily before
+        utilization reads.
+        """
+        now = self.sim.now
+        demand = sum(self._effective_rate(a, now) for a in self._attachments
+                     if a.active_at(now))
+        delta = demand - self.fabric.demand
+        if delta > 0:
+            self.fabric.add_demand(delta)
+        elif delta < 0:
+            self.fabric.remove_demand(-delta)

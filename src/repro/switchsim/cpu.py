@@ -1,0 +1,148 @@
+"""Management-CPU model.
+
+Switches in SVI-A carry commodity x86 CPUs (Xeon 8-core on the Tofino boxes,
+Atom C2538 quad-core on the Accton AS5712/AS7712).  Seeds, the soil, and
+baseline agents run here.  The model accounts:
+
+* **standing load** — continuous work registered as a fraction of one core
+  (CPU "load" in the paper's figures is reported in percent of one core and
+  can exceed 100% on multi-core parts, cf. Fig. 6c's ~350%);
+* **per-invocation work** — CPU-seconds charged per event (a seed handling
+  one poll, an sFlow agent forwarding a sample);
+* **context-switch overhead** — a per-entity, per-invocation tax that only
+  applies to *process*-based entities; this is what makes 50 parallel ML
+  seeds melt the CPU in Fig. 6c while thread-based seeds in Fig. 9 stay flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import SwitchError
+from repro.sim.engine import Simulator
+
+#: CPU-seconds consumed by one context switch (generous for an Atom-class
+#: part with cold caches; the paper's figures imply switches are expensive).
+CONTEXT_SWITCH_COST_S = 30e-6
+
+
+@dataclass
+class LoadSample:
+    time: float
+    load_percent: float
+
+
+class ManagementCpu:
+    """Load accounting for the switch's local control-plane CPU."""
+
+    def __init__(self, sim: Simulator, num_cores: int = 4,
+                 name: str = "cpu") -> None:
+        if num_cores <= 0:
+            raise SwitchError(f"core count must be positive: {num_cores}")
+        self.sim = sim
+        self.num_cores = num_cores
+        self.name = name
+        self._standing: Dict[str, float] = {}  # key -> fraction of one core
+        self._work_integral = 0.0  # cpu-seconds of one-off work
+        self._last_accumulate = sim.now
+        self._standing_integral = 0.0  # integral of standing load (core*s)
+        self._history: List[LoadSample] = []
+
+    # ------------------------------------------------------------------
+    # Standing load
+    # ------------------------------------------------------------------
+    def set_standing_load(self, key: str, core_fraction: float) -> None:
+        """Register continuous load under ``key`` (replaces prior value)."""
+        if core_fraction < 0:
+            raise SwitchError(f"load must be non-negative: {core_fraction}")
+        self._accumulate()
+        self._standing[key] = core_fraction
+        self._history.append(LoadSample(self.sim.now, self.load_percent))
+
+    def clear_standing_load(self, key: str) -> None:
+        self._accumulate()
+        self._standing.pop(key, None)
+
+    @property
+    def standing_load_cores(self) -> float:
+        return sum(self._standing.values())
+
+    # ------------------------------------------------------------------
+    # One-off work
+    # ------------------------------------------------------------------
+    def charge_work(self, cpu_seconds: float, context_switches: int = 0) -> float:
+        """Charge ``cpu_seconds`` of computation (+ context switches).
+
+        Returns the *wall-clock completion time* of the work given current
+        contention: work slows down proportionally once total demand
+        exceeds the core count.
+        """
+        if cpu_seconds < 0:
+            raise SwitchError(f"work must be non-negative: {cpu_seconds}")
+        total = cpu_seconds + context_switches * CONTEXT_SWITCH_COST_S
+        self._work_integral += total
+        slowdown = max(1.0, self.standing_load_cores / self.num_cores)
+        return total * slowdown
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _accumulate(self) -> None:
+        dt = self.sim.now - self._last_accumulate
+        if dt > 0:
+            self._standing_integral += self.standing_load_cores * dt
+        self._last_accumulate = self.sim.now
+
+    @property
+    def load_percent(self) -> float:
+        """Instantaneous standing load, percent of one core (can be >100)."""
+        return self.standing_load_cores * 100.0
+
+    def mean_demand_percent(self, window: float = 0.0) -> float:
+        """Time-averaged *offered* load in percent (may exceed the cores:
+        demand beyond capacity means work queues up and deadlines slip).
+        """
+        self._accumulate()
+        horizon = self.sim.now if window == 0.0 else window
+        if horizon <= 0:
+            return self.load_percent
+        mean_cores = (self._standing_integral + self._work_integral) / horizon
+        return mean_cores * 100.0
+
+    def mean_load_percent(self, window: float = 0.0) -> float:
+        """Time-averaged *utilization* in percent, saturating at the core
+        count — a 4-core part cannot report more than 400% (what Fig. 6's
+        plateaus show).  Use :meth:`mean_demand_percent` for raw demand.
+        """
+        return min(self.mean_demand_percent(window),
+                   self.num_cores * 100.0)
+
+    @property
+    def saturated_demand(self) -> bool:
+        """Offered load exceeds total capacity (deadlines will slip)."""
+        return self.mean_demand_percent() > self.num_cores * 100.0
+
+    @property
+    def overloaded(self) -> bool:
+        """True when standing demand alone exceeds all cores."""
+        return self.standing_load_cores > self.num_cores
+
+    def history(self) -> List[LoadSample]:
+        return list(self._history)
+
+
+def estimate_invocation_load(invocations_per_second: float,
+                             cpu_seconds_per_invocation: float,
+                             as_process: bool = False) -> float:
+    """Steady-state core fraction for a periodic activity.
+
+    ``as_process`` adds two context switches per invocation (in and out),
+    the cost that separates Fig. 9's process curve from its thread curve.
+    """
+    if invocations_per_second < 0 or cpu_seconds_per_invocation < 0:
+        raise SwitchError("rates and costs must be non-negative")
+    per_invocation = cpu_seconds_per_invocation
+    if as_process:
+        per_invocation += 2 * CONTEXT_SWITCH_COST_S
+    return invocations_per_second * per_invocation

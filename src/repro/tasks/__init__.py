@@ -1,0 +1,126 @@
+"""The Tab. I task library: 16 M&M use cases + the SVI ML task.
+
+Every entry in :data:`TASK_REGISTRY` maps a use-case name to a factory
+returning a ready-to-submit :class:`~repro.core.task.TaskDefinition`.
+``ALMANAC_SOURCES`` exposes the raw Almanac programs (Tab. I's LoC counts
+are measured over these).
+"""
+
+from repro.tasks import attack_monitors, infrastructure_monitors
+from repro.tasks.attack_monitors import (
+    DNS_REFLECTION_SOURCE,
+    ENTROPY_SOURCE,
+    PORT_SCAN_SOURCE,
+    SLOWLORIS_SOURCE,
+    SSH_BRUTE_FORCE_SOURCE,
+    SUPERSPREADER_SOURCE,
+    make_dns_reflection_task,
+    make_entropy_task,
+    make_port_scan_task,
+    make_slowloris_task,
+    make_ssh_brute_force_task,
+    make_superspreader_task,
+)
+from repro.tasks.ddos import ALMANAC_SOURCE as DDOS_SOURCE
+from repro.tasks.ddos import DdosHarvester, make_task as make_ddos_task
+from repro.tasks.flood_defender import ALMANAC_SOURCE as FLOOD_DEFENDER_SOURCE
+from repro.tasks.flood_defender import (
+    FloodDefenderHarvester,
+    make_task as make_flood_defender_task,
+)
+from repro.tasks.heavy_hitter import ALMANAC_SOURCE as HEAVY_HITTER_SOURCE
+from repro.tasks.heavy_hitter import (
+    HeavyHitterHarvester,
+    make_task as make_heavy_hitter_task,
+)
+from repro.tasks.hierarchical_hh import (
+    FULL_SOURCE as HHH_FULL_SOURCE,
+    INHERITED_SOURCE as HHH_INHERITED_SOURCE,
+    HhhHarvester,
+    make_task as make_hierarchical_hh_task,
+)
+from repro.tasks.infrastructure_monitors import (
+    FLOW_SIZE_DIST_SOURCE,
+    LINK_FAILURE_SOURCE,
+    TRAFFIC_CHANGE_SOURCE,
+    LinkEventHarvester,
+    SeriesHarvester,
+    make_flow_size_dist_task,
+    make_link_failure_task,
+    make_traffic_change_task,
+)
+from repro.tasks.ml_task import ALMANAC_SOURCE as ML_SOURCE
+from repro.tasks.ml_task import (
+    PredictionHarvester,
+    SvrPredictor,
+    make_task as make_ml_task,
+    register_ml_support,
+)
+from repro.tasks.tcp_monitors import (
+    NEW_TCP_CONN_SOURCE,
+    PARTIAL_TCP_SOURCE,
+    SYN_FLOOD_SOURCE,
+    CountingHarvester,
+    SuspectHarvester,
+    make_new_tcp_conn_task,
+    make_partial_tcp_task,
+    make_syn_flood_task,
+)
+
+#: name -> (source text, main machine name) — the Tab. I inventory.
+ALMANAC_SOURCES = {
+    "heavy_hitter": (HEAVY_HITTER_SOURCE, "HH"),
+    "hierarchical_hh_inherited": (HHH_INHERITED_SOURCE, "HHH"),
+    "hierarchical_hh": (HHH_FULL_SOURCE, "HHHFull"),
+    "ddos": (DDOS_SOURCE, "DDoS"),
+    "new_tcp_conn": (NEW_TCP_CONN_SOURCE, "NewTcpConn"),
+    "tcp_syn_flood": (SYN_FLOOD_SOURCE, "SynFlood"),
+    "partial_tcp_flow": (PARTIAL_TCP_SOURCE, "PartialTcpFlow"),
+    "slowloris": (SLOWLORIS_SOURCE, "Slowloris"),
+    "link_failure": (LINK_FAILURE_SOURCE, "LinkFailure"),
+    "traffic_change": (TRAFFIC_CHANGE_SOURCE, "TrafficChange"),
+    "flow_size_distribution": (FLOW_SIZE_DIST_SOURCE, "FlowSizeDist"),
+    "superspreader": (SUPERSPREADER_SOURCE, "Superspreader"),
+    "ssh_brute_force": (SSH_BRUTE_FORCE_SOURCE, "SshBruteForce"),
+    "port_scan": (PORT_SCAN_SOURCE, "PortScan"),
+    "dns_reflection": (DNS_REFLECTION_SOURCE, "DnsReflection"),
+    "entropy_estimation": (ENTROPY_SOURCE, "EntropyEstim"),
+    "flood_defender": (FLOOD_DEFENDER_SOURCE, "FloodDefender"),
+    "ml_predict": (ML_SOURCE, "MLPredict"),
+}
+
+#: name -> zero-arg factory producing a TaskDefinition with defaults.
+TASK_REGISTRY = {
+    "heavy_hitter": make_heavy_hitter_task,
+    "hierarchical_hh": make_hierarchical_hh_task,
+    "ddos": make_ddos_task,
+    "new_tcp_conn": make_new_tcp_conn_task,
+    "tcp_syn_flood": make_syn_flood_task,
+    "partial_tcp_flow": make_partial_tcp_task,
+    "slowloris": make_slowloris_task,
+    "link_failure": make_link_failure_task,
+    "traffic_change": make_traffic_change_task,
+    "flow_size_distribution": make_flow_size_dist_task,
+    "superspreader": make_superspreader_task,
+    "ssh_brute_force": make_ssh_brute_force_task,
+    "port_scan": make_port_scan_task,
+    "dns_reflection": make_dns_reflection_task,
+    "entropy_estimation": make_entropy_task,
+    "flood_defender": make_flood_defender_task,
+    "ml_predict": make_ml_task,
+}
+
+__all__ = [
+    "ALMANAC_SOURCES", "TASK_REGISTRY",
+    "make_heavy_hitter_task", "make_hierarchical_hh_task", "make_ddos_task",
+    "make_new_tcp_conn_task", "make_syn_flood_task", "make_partial_tcp_task",
+    "make_slowloris_task", "make_link_failure_task",
+    "make_traffic_change_task", "make_flow_size_dist_task",
+    "make_superspreader_task", "make_ssh_brute_force_task",
+    "make_port_scan_task", "make_dns_reflection_task", "make_entropy_task",
+    "make_flood_defender_task", "make_ml_task", "register_ml_support",
+    "HeavyHitterHarvester", "HhhHarvester", "DdosHarvester",
+    "FloodDefenderHarvester", "PredictionHarvester", "SvrPredictor",
+    "CountingHarvester", "SuspectHarvester", "SeriesHarvester",
+    "LinkEventHarvester",
+]

@@ -1,0 +1,426 @@
+"""Attack detectors from Tab. I.
+
+* ``Superspreader`` [13] — a source contacting many distinct destinations.
+* ``SshBruteForce`` [27] — repeated small connections to port 22.
+* ``PortScan`` [29] — one source probing many destination ports.
+* ``DnsReflection`` [30] — amplified DNS responses converging on a victim.
+* ``Slowloris`` [32] — many long-lived near-idle connections to a server.
+* ``EntropyEstim`` [31] — source-address entropy as an anomaly signal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.harvester import Harvester, SeedReport
+from repro.core.task import TaskDefinition
+from repro.tasks.tcp_monitors import SuspectHarvester
+
+SUPERSPREADER_SOURCE = """
+machine Superspreader {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = port ANY };
+  time window = windowLen;
+  external float interval;
+  external float windowLen;
+  external long fanoutThreshold;
+  list contacts = makeMap();   // src -> list of distinct destinations
+  list flagged;
+
+  state observing {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 96) then {
+        return min(res.vCPU * 15, res.PCIe / 40);
+      }
+    }
+    when (pkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        list dsts = mapGet(contacts, p.src_ip);
+        if (dsts == 0) then {
+          list fresh;
+          mapSet(contacts, p.src_ip, fresh);
+          dsts = fresh;
+        }
+        if (not contains(dsts, p.dst_ip)) then {
+          append(dsts, p.dst_ip);
+          if (size(dsts) >= fanoutThreshold
+              and not contains(flagged, p.src_ip)) then {
+            append(flagged, p.src_ip);
+            send ipstr(p.src_ip) to harvester;
+            // Local reaction: cap the spreader's connection budget.
+            addTCAMRule(makeRule(srcIP ipstr(p.src_ip),
+                                 makeRateLimitAction(10000)));
+          }
+        }
+        i = i + 1;
+      }
+    }
+    when (window) do {
+      mapClear(contacts);
+    }
+  }
+}
+"""
+
+SSH_BRUTE_FORCE_SOURCE = """
+machine SshBruteForce {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = proto 6 and dstPort 22 };
+  time window = windowLen;
+  external float interval;
+  external float windowLen;
+  external long attemptThreshold;
+  list attempts = makeMap();  // src -> attempts this window
+  list blocked;
+
+  state watching {
+    util (res) {
+      if (res.vCPU >= 0.25 and res.RAM >= 48) then { return 30; }
+    }
+    when (pkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        long count = mapInc(attempts, p.src_ip, 1);
+        if (count >= attemptThreshold
+            and not contains(blocked, p.src_ip)) then {
+          append(blocked, p.src_ip);
+          send ipstr(p.src_ip) to harvester;
+          addTCAMRule(makeRule(srcIP ipstr(p.src_ip) and dstPort 22,
+                               makeDropAction()));
+        }
+        i = i + 1;
+      }
+    }
+    when (window) do {
+      mapClear(attempts);
+    }
+  }
+}
+"""
+
+PORT_SCAN_SOURCE = """
+machine PortScan {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = proto 6 and tcpFlags 2 };
+  time window = windowLen;
+  external float interval;
+  external float windowLen;
+  external long portThreshold;
+  list probed = makeMap();   // src -> distinct destination ports
+  list flagged;
+
+  state scanning {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 64) then {
+        return min(res.vCPU * 12, res.PCIe / 50);
+      }
+    }
+    when (pkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        list ports = mapGet(probed, p.src_ip);
+        if (ports == 0) then {
+          list fresh;
+          mapSet(probed, p.src_ip, fresh);
+          ports = fresh;
+        }
+        if (not contains(ports, p.dst_port)) then {
+          append(ports, p.dst_port);
+        }
+        i = i + 1;
+      }
+      // Sequential-hypothesis-style decision at the end of each batch
+      // [29]: flag sources probing too many distinct ports.
+      list srcs = mapKeys(probed);
+      int j = 0;
+      while (j < size(srcs)) {
+        long src = get(srcs, j);
+        if (size(mapGet(probed, src)) >= portThreshold
+            and not contains(flagged, src)) then {
+          append(flagged, src);
+          transit react;
+        }
+        j = j + 1;
+      }
+    }
+    when (window) do {
+      mapClear(probed);
+    }
+  }
+
+  state react {
+    util (res) { return 120; }
+    when (enter) do {
+      long scanner = get(flagged, size(flagged) - 1);
+      send ipstr(scanner) to harvester;
+      addTCAMRule(makeRule(srcIP ipstr(scanner), makeDropAction()));
+      transit scanning;
+    }
+  }
+}
+"""
+
+DNS_REFLECTION_SOURCE = """
+machine DnsReflection {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = proto 17 and srcPort 53 };
+  time window = windowLen;
+  external float interval;
+  external float windowLen;
+  external long volumeThreshold;   // reflected bytes per victim per window
+  external long amplificationSize; // responses above this are suspicious
+  list reflected = makeMap();      // victim -> suspicious response bytes
+  list shielded;
+
+  state observing {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 96) then {
+        return min(res.vCPU * 18, res.PCIe / 35);
+      }
+    }
+    when (pkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        if (p.size >= amplificationSize) then {
+          long volume = mapInc(reflected, p.dst_ip, p.size);
+          if (volume >= volumeThreshold
+              and not contains(shielded, p.dst_ip)) then {
+            append(shielded, p.dst_ip);
+            send ipstr(p.dst_ip) to harvester;
+            // Drop oversized DNS responses toward the victim.
+            addTCAMRule(makeRule(
+              dstIP ipstr(p.dst_ip) and proto 17 and srcPort 53,
+              makeDropAction()));
+          }
+        }
+        i = i + 1;
+      }
+    }
+    when (window) do {
+      mapClear(reflected);
+    }
+  }
+}
+"""
+
+SLOWLORIS_SOURCE = """
+machine Slowloris {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = proto 6 and dstPort 80 };
+  time window = windowLen;
+  external float interval;
+  external float windowLen;
+  external long connThreshold;   // many connections ...
+  external long avgSizeCap;      // ... of tiny header-dribble packets
+  list conns = makeMap();        // server -> distinct client list
+  list volume = makeMap();       // server -> sampled bytes this window
+  list count = makeMap();        // server -> samples this window
+  list protected;
+
+  state observing {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 64) then { return 25; }
+    }
+    when (pkts as samples) do {
+      // Accumulate only; the verdict happens at window end so a freshly
+      // reset volume counter can never fake the "idle crowd" signature.
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        list clients = mapGet(conns, p.dst_ip);
+        if (clients == 0) then {
+          list fresh;
+          mapSet(conns, p.dst_ip, fresh);
+          clients = fresh;
+        }
+        if (not contains(clients, p.src_ip)) then {
+          append(clients, p.src_ip);
+        }
+        mapInc(volume, p.dst_ip, p.size);
+        mapInc(count, p.dst_ip, 1);
+        i = i + 1;
+      }
+    }
+    when (window) do {
+      list servers = mapKeys(conns);
+      int j = 0;
+      while (j < size(servers)) {
+        long server = get(servers, j);
+        float avgSize = mapGet(volume, server)
+                        / max(1, mapGet(count, server));
+        if (size(mapGet(conns, server)) >= connThreshold
+            and avgSize <= avgSizeCap
+            and not contains(protected, server)) then {
+          // Slowloris signature: a crowd of connections dribbling tiny
+          // keep-alive packets instead of real payloads.
+          append(protected, server);
+          send ipstr(server) to harvester;
+          addTCAMRule(makeRule(dstIP ipstr(server) and dstPort 80,
+                               makeRateLimitAction(10000)));
+        }
+        j = j + 1;
+      }
+      mapClear(conns);
+      mapClear(volume);
+      mapClear(count);
+    }
+  }
+}
+"""
+
+ENTROPY_SOURCE = """
+machine EntropyEstim {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = port ANY };
+  time window = windowLen;
+  external float interval;
+  external float windowLen;
+  external float lowWater;   // alarm when entropy drops below this
+  list sampleSrcs;
+  float lastEntropy = 0.0;
+
+  state estimating {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 64) then {
+        return min(res.vCPU * 10, res.PCIe / 60);
+      }
+    }
+    when (pkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        append(sampleSrcs, get(samples, i).src_ip);
+        i = i + 1;
+      }
+    }
+    when (window) do {
+      if (size(sampleSrcs) > 0) then {
+        lastEntropy = entropy(sampleSrcs);
+        send lastEntropy to harvester;
+        if (lastEntropy < lowWater) then {
+          transit anomaly;
+        }
+        clear(sampleSrcs);
+      }
+    }
+  }
+
+  state anomaly {
+    util (res) { return 90; }
+    when (enter) do {
+      send "entropy-anomaly" to harvester;
+      transit estimating;
+    }
+  }
+}
+"""
+
+
+class EntropyHarvester(Harvester):
+    """Tracks the entropy time series and anomaly alarms."""
+
+    def __init__(self) -> None:
+        super().__init__("entropy-harvester")
+        self.entropies: List[float] = []
+        self.anomalies: int = 0
+
+    def on_seed_report(self, report: SeedReport) -> None:
+        if isinstance(report.value, float):
+            self.entropies.append(report.value)
+        elif report.value == "entropy-anomaly":
+            self.anomalies += 1
+
+
+def make_superspreader_task(task_id: str = "superspreader",
+                            fanout_threshold: int = 50,
+                            interval_s: float = 0.01,
+                            window_s: float = 1.0,
+                            harvester: Optional[Harvester] = None
+                            ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=SUPERSPREADER_SOURCE,
+        machine_name="Superspreader",
+        externals={"fanoutThreshold": int(fanout_threshold),
+                   "interval": float(interval_s),
+                   "windowLen": float(window_s)},
+        harvester=harvester or SuspectHarvester("spreader-harvester"))
+
+
+def make_ssh_brute_force_task(task_id: str = "ssh-brute-force",
+                              attempt_threshold: int = 10,
+                              interval_s: float = 0.05,
+                              window_s: float = 5.0,
+                              harvester: Optional[Harvester] = None
+                              ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=SSH_BRUTE_FORCE_SOURCE,
+        machine_name="SshBruteForce",
+        externals={"attemptThreshold": int(attempt_threshold),
+                   "interval": float(interval_s),
+                   "windowLen": float(window_s)},
+        harvester=harvester or SuspectHarvester("ssh-harvester"))
+
+
+def make_port_scan_task(task_id: str = "port-scan",
+                        port_threshold: int = 20,
+                        interval_s: float = 0.01,
+                        window_s: float = 2.0,
+                        harvester: Optional[Harvester] = None
+                        ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=PORT_SCAN_SOURCE, machine_name="PortScan",
+        externals={"portThreshold": int(port_threshold),
+                   "interval": float(interval_s),
+                   "windowLen": float(window_s)},
+        harvester=harvester or SuspectHarvester("portscan-harvester"))
+
+
+def make_dns_reflection_task(task_id: str = "dns-reflection",
+                             volume_threshold: float = 50_000.0,
+                             amplification_size: int = 1500,
+                             interval_s: float = 0.01,
+                             window_s: float = 1.0,
+                             harvester: Optional[Harvester] = None
+                             ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=DNS_REFLECTION_SOURCE,
+        machine_name="DnsReflection",
+        externals={"volumeThreshold": int(volume_threshold),
+                   "amplificationSize": int(amplification_size),
+                   "interval": float(interval_s),
+                   "windowLen": float(window_s)},
+        harvester=harvester or SuspectHarvester("dns-harvester"))
+
+
+def make_slowloris_task(task_id: str = "slowloris",
+                        conn_threshold: int = 50,
+                        avg_size_cap: float = 300.0,
+                        interval_s: float = 0.05,
+                        window_s: float = 0.25,
+                        harvester: Optional[Harvester] = None
+                        ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=SLOWLORIS_SOURCE, machine_name="Slowloris",
+        externals={"connThreshold": int(conn_threshold),
+                   "avgSizeCap": int(avg_size_cap),
+                   "interval": float(interval_s),
+                   "windowLen": float(window_s)},
+        harvester=harvester or SuspectHarvester("slowloris-harvester"))
+
+
+def make_entropy_task(task_id: str = "entropy-estimation",
+                      low_water: float = 1.0,
+                      interval_s: float = 0.01,
+                      window_s: float = 0.5,
+                      harvester: Optional[Harvester] = None
+                      ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=ENTROPY_SOURCE, machine_name="EntropyEstim",
+        externals={"lowWater": float(low_water),
+                   "interval": float(interval_s),
+                   "windowLen": float(window_s)},
+        harvester=harvester or EntropyHarvester())

@@ -1,0 +1,119 @@
+"""DDoS detection and mitigation [10].
+
+Seeds watch per-victim inbound rate via packet probing; a victim whose
+aggregate rate crosses the threshold moves the seed into a ``mitigating``
+state that installs a rate-limit rule *locally* — the quench-at-the-switch
+reaction the paper's introduction motivates — and informs the harvester,
+which can escalate to a network-wide drop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.harvester import Harvester, SeedReport
+from repro.core.task import TaskDefinition
+
+ALMANAC_SOURCE = """
+machine DDoS {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = port ANY };
+  external long rateThreshold;    // bytes per window per victim
+  external long sourceThreshold;  // distinct sources per victim
+  external long quenchRate;       // rate limit applied to a victim's flow
+  external float interval;
+  list volume = makeMap();        // victim -> bytes this window
+  list sources = makeMap();       // victim -> distinct-source list
+  list mitigated;
+
+  state observe {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 256) then {
+        return min(res.vCPU * 20, res.PCIe / 25);
+      }
+    }
+    when (pkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        mapInc(volume, p.dst_ip, p.size);
+        list seen = mapGet(sources, p.dst_ip);
+        if (seen == 0) then {
+          list fresh;
+          mapSet(sources, p.dst_ip, fresh);
+          seen = fresh;
+        }
+        if (not contains(seen, p.src_ip)) then {
+          append(seen, p.src_ip);
+        }
+        i = i + 1;
+      }
+      list victims = mapKeys(volume);
+      int j = 0;
+      while (j < size(victims)) {
+        long victim = get(victims, j);
+        if (mapGet(volume, victim) >= rateThreshold
+            and size(mapGet(sources, victim)) >= sourceThreshold) then {
+          if (not contains(mitigated, victim)) then {
+            append(mitigated, victim);
+            transit mitigating;
+          }
+        }
+        j = j + 1;
+      }
+      mapClear(volume);
+      mapClear(sources);
+    }
+  }
+
+  state mitigating {
+    util (res) { return 200; }
+    when (enter) do {
+      // Local reaction: rate-limit traffic to the newest victim, then
+      // tell the harvester so it can coordinate a network-wide response.
+      long victim = get(mitigated, size(mitigated) - 1);
+      addTCAMRule(makeRule(dstIP ipstr(victim),
+                           makeRateLimitAction(quenchRate)));
+      send ipstr(victim) to harvester;
+      transit observe;
+    }
+  }
+
+  when (recv string unblock from harvester) do {
+    // Harvester lifts mitigation for a victim once the attack subsides.
+    removeTCAMRule(dstIP unblock);
+  }
+}
+"""
+
+
+class DdosHarvester(Harvester):
+    """Tracks victims under attack across the whole network."""
+
+    def __init__(self) -> None:
+        super().__init__("ddos-harvester")
+        self.victims: Set[str] = set()
+
+    def on_seed_report(self, report: SeedReport) -> None:
+        self.victims.add(str(report.value))
+
+    def lift_mitigation(self, victim: str) -> int:
+        """Tell every seed the attack on ``victim`` is over."""
+        self.victims.discard(victim)
+        return self.send_to_seeds("DDoS", victim)
+
+
+def make_task(task_id: str = "ddos",
+              rate_threshold: float = 100_000.0,
+              source_threshold: int = 10,
+              interval_s: float = 0.01,
+              harvester: Optional[Harvester] = None) -> TaskDefinition:
+    if harvester is None:
+        harvester = DdosHarvester()
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=ALMANAC_SOURCE, machine_name="DDoS",
+        externals={"rateThreshold": int(rate_threshold),
+                   "sourceThreshold": int(source_threshold),
+                   "quenchRate": 100_000,
+                   "interval": float(interval_s)},
+        harvester=harvester, event_cpu_s=40e-6)

@@ -1,0 +1,185 @@
+"""FloodDefender [33] — protecting data & control plane under SDN-aimed DoS.
+
+The largest Tab. I use case (126 LoC seed / 35 harvester in the paper).
+An SDN-aimed flood fires table-miss packets at the controller; the defense
+runs in four phases, modeled as explicit states:
+
+``normal`` -> (miss rate spikes) -> ``detection`` -> (attack confirmed)
+-> ``mitigation`` (protective wildcard rules offload the table-miss path,
+per-source filtering drops attackers) -> (load subsides) -> ``recovery``
+(rules are torn down in steps) -> ``normal``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.harvester import Harvester, SeedReport
+from repro.core.task import TaskDefinition
+
+ALMANAC_SOURCE = """
+machine FloodDefender {
+  place all;
+  probe missPkts = Probe { .ival = interval, .what = proto 6 };
+  poll pollStats = Poll { .ival = interval * 4, .what = port ANY };
+  external float interval;
+  external long missThreshold;     // suspicious new-flow arrivals / window
+  external long attackerThreshold; // per-source new flows to call it hostile
+  external long calmWindows;       // quiet windows before recovery
+  list newFlows = makeMap();       // src -> new flows this window
+  list seenFlows = makeMap();      // flow key -> 1 (table-hit emulation)
+  list attackers;
+  long missCount = 0;
+  long quiet = 0;
+
+  state normal {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 256) then {
+        return min(res.vCPU * 25, res.PCIe / 20);
+      }
+    }
+    when (missPkts as samples) do {
+      missCount = missCount + countMisses(samples, newFlows, seenFlows);
+      if (missCount >= missThreshold) then {
+        transit detection;
+      }
+    }
+    when (pollStats as stats) do {
+      missCount = 0;
+      mapClear(newFlows);
+    }
+  }
+
+  state detection {
+    util (res) { return 150; }
+    when (enter) do {
+      // Confirm: are the misses concentrated on few sources (attack) or
+      // spread out (flash crowd)?
+      list hostile;
+      list srcs = mapKeys(newFlows);
+      int i = 0;
+      while (i < size(srcs)) {
+        long src = get(srcs, i);
+        if (mapGet(newFlows, src) >= attackerThreshold) then {
+          append(hostile, src);
+        }
+        i = i + 1;
+      }
+      if (is_list_empty(hostile)) then {
+        // Flash crowd: back to normal, nothing to punish.
+        missCount = 0;
+        transit normal;
+      } else {
+        attackers = hostile;
+        transit mitigation;
+      }
+    }
+  }
+
+  state mitigation {
+    util (res) { return 250; }
+    when (enter) do {
+      // Protective wildcard rule offloads the table-miss path, then
+      // per-attacker drops (FloodDefender's table-miss engineering).
+      addTCAMRule(makeRule(proto 6, makeQosAction("offload")));
+      int i = 0;
+      while (i < size(attackers)) {
+        addTCAMRule(makeRule(srcIP ipstr(get(attackers, i)),
+                             makeDropAction()));
+        send ipstr(get(attackers, i)) to harvester;
+        i = i + 1;
+      }
+      quiet = 0;
+    }
+    when (pollStats as stats) do {
+      missCount = 0;
+      mapClear(newFlows);
+      quiet = quiet + 1;
+      if (quiet >= calmWindows) then {
+        transit recovery;
+      }
+    }
+    when (missPkts as samples) do {
+      long fresh = countMisses(samples, newFlows, seenFlows);
+      if (fresh > 0) then {
+        quiet = 0;
+      }
+    }
+  }
+
+  state recovery {
+    util (res) { return 80; }
+    when (enter) do {
+      // Tear down in steps: first the per-attacker drops, then the
+      // wildcard offload rule.
+      int i = 0;
+      while (i < size(attackers)) {
+        removeTCAMRule(srcIP ipstr(get(attackers, i)));
+        i = i + 1;
+      }
+      removeTCAMRule(proto 6);
+      clear(attackers);
+      send "recovered" to harvester;
+      missCount = 0;
+      transit normal;
+    }
+  }
+
+  when (recv string cmd from harvester) do {
+    // The harvester can force recovery (e.g. operator override).
+    if (cmd == "recover") then {
+      transit recovery;
+    }
+  }
+}
+
+function long countMisses(list samples, list newFlows, list seenFlows) {
+  long misses = 0;
+  int i = 0;
+  while (i < size(samples)) {
+    packet p = get(samples, i);
+    long key = p.src_ip * 131072 + p.dst_port * 2 + p.proto;
+    if (mapGet(seenFlows, key) == 0) then {
+      mapSet(seenFlows, key, 1);
+      mapInc(newFlows, p.src_ip, 1);
+      misses = misses + 1;
+    }
+    i = i + 1;
+  }
+  return misses;
+}
+"""
+
+
+class FloodDefenderHarvester(Harvester):
+    """Aggregates attacker reports; can force recovery network-wide."""
+
+    def __init__(self) -> None:
+        super().__init__("flood-defender-harvester")
+        self.attackers: List[str] = []
+        self.recoveries: int = 0
+
+    def on_seed_report(self, report: SeedReport) -> None:
+        if report.value == "recovered":
+            self.recoveries += 1
+        else:
+            self.attackers.append(str(report.value))
+
+    def force_recovery(self) -> int:
+        return self.send_to_seeds("FloodDefender", "recover")
+
+
+def make_task(task_id: str = "flood-defender",
+              miss_threshold: int = 100,
+              attacker_threshold: int = 20,
+              calm_windows: int = 3,
+              interval_s: float = 0.01,
+              harvester: Optional[Harvester] = None) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=ALMANAC_SOURCE, machine_name="FloodDefender",
+        externals={"missThreshold": int(miss_threshold),
+                   "attackerThreshold": int(attacker_threshold),
+                   "calmWindows": int(calm_windows),
+                   "interval": float(interval_s)},
+        harvester=harvester or FloodDefenderHarvester(),
+        event_cpu_s=60e-6)

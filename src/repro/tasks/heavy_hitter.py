@@ -1,0 +1,226 @@
+"""Heavy hitter (HH) detection — the paper's running example (List. 2).
+
+A seed per switch polls all port statistics; ports whose transmit rate
+exceeds a threshold are reported to the harvester and rate-limited locally
+(the switch-local *reaction* that makes FARM's 1 ms mitigation possible).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.harvester import Harvester, SeedReport
+from repro.core.task import TaskDefinition
+
+#: The default reaction applied to detected heavy hitters.
+DEFAULT_HITTER_ACTION = {"action": "rate_limit", "rate_bps": 1_000_000.0}
+
+ALMANAC_SOURCE = """
+// Heavy hitter detection (List. 2 of the paper, with the auxiliary
+// functions getHH / setHitterRules written out).
+function list getHH(list stats, long threshold) {
+  list result;
+  int i = 0;
+  while (i < size(stats)) {
+    if (get(stats, i).rate_bps >= threshold) then {
+      append(result, get(stats, i).port);
+    }
+    i = i + 1;
+  }
+  return result;
+}
+
+function int setHitterRules(list hitters, action act) {
+  // Idempotent under churn: a port already carrying a hitter rule is
+  // skipped, so repeated detections never exhaust the TCAM budget.
+  int installed = 0;
+  int i = 0;
+  while (i < size(hitters)) {
+    if (not contains(ruled, get(hitters, i))) then {
+      addTCAMRule(makeRule(port get(hitters, i), act));
+      append(ruled, get(hitters, i));
+      installed = installed + 1;
+    }
+    i = i + 1;
+  }
+  return installed;
+}
+
+machine HH {
+  place all;
+  poll pollStats = Poll {
+    .ival = accuracy / res().PCIe, .what = port ANY
+  };
+  external long threshold;
+  external long accuracy;
+  external action hitterAction;
+  list hitters;
+  list ruled;
+
+  state observe {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 100) then {
+        return min(res.vCPU, res.PCIe / 500);
+      }
+    }
+    when (pollStats as stats) do {
+      hitters = getHH(stats, threshold);
+      if (not is_list_empty(hitters)) then {
+        transit HHdetected;
+      }
+    }
+  }
+
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      send hitters to harvester;
+      setHitterRules(hitters, hitterAction);
+      transit observe;
+    }
+  }
+
+  when (recv long newTh from harvester)
+  do { threshold = newTh; }
+  when (recv action hitAct from harvester)
+  do { hitterAction = hitAct; }
+}
+"""
+
+
+class HeavyHitterHarvester(Harvester):
+    """Collects network-wide HHs and can adapt the threshold at runtime."""
+
+    def __init__(self, threshold: float) -> None:
+        super().__init__("hh-harvester")
+        self.threshold = threshold
+        #: (time, switch, port) of every reported heavy hitter.
+        self.detections: list = []
+
+    def on_seed_report(self, report: SeedReport) -> None:
+        for port in report.value:
+            self.detections.append((report.time, report.switch, port))
+
+    def heavy_ports(self, switch: Optional[int] = None) -> set:
+        return {(sw, port) for _t, sw, port in self.detections
+                if switch is None or sw == switch}
+
+    def first_detection_time(self) -> Optional[float]:
+        return self.detections[0][0] if self.detections else None
+
+    def update_threshold(self, threshold: float) -> int:
+        """Push a new threshold to every seed (List. 2's harvester role)."""
+        self.threshold = threshold
+        return self.send_to_seeds("HH", int(threshold))
+
+
+NETWORK_WIDE_SOURCE = """
+// Network-wide HH detection: the scenario Sonata cannot express (SVII).
+// Seeds report per-port rates every window; the harvester sums the same
+// logical port across switches and detects aggregates that no single
+// switch sees cross the threshold.
+machine HHReporter {
+  place all;
+  poll pollStats = Poll { .ival = accuracy / res().PCIe, .what = port ANY };
+  external long accuracy;
+  external long floor;
+
+  state reporting {
+    util (res) {
+      if (res.vCPU >= 0.25 and res.RAM >= 64) then {
+        return min(res.vCPU * 5, res.PCIe / 500);
+      }
+    }
+    when (pollStats as stats) do {
+      // Pre-filter locally ([DEC]): only ports above the floor are worth
+      // the harvester's attention.
+      list report;
+      int i = 0;
+      while (i < size(stats)) {
+        if (get(stats, i).rate_bps >= floor) then {
+          append(report, [get(stats, i).port, get(stats, i).rate_bps]);
+        }
+        i = i + 1;
+      }
+      if (not is_list_empty(report)) then {
+        send report to harvester;
+      }
+    }
+  }
+}
+"""
+
+
+class NetworkWideHhHarvester(Harvester):
+    """Aggregates per-switch port rates into network-wide heavy hitters.
+
+    Each seed reports ``[port, rate]`` pairs; the harvester keeps the
+    latest rate per (switch, port) and flags logical ports whose *summed*
+    rate across switches crosses the threshold — the global view Sonata's
+    unmergeable streams cannot provide (SVII).
+    """
+
+    def __init__(self, threshold_bps: float) -> None:
+        super().__init__("nw-hh-harvester")
+        self.threshold_bps = threshold_bps
+        self._rates: dict = {}  # (switch, port) -> latest rate
+        self.global_detections: list = []
+        self._flagged: set = set()
+
+    def on_seed_report(self, report: SeedReport) -> None:
+        for port, rate in report.value:
+            self._rates[(report.switch, port)] = rate
+        totals: dict = {}
+        for (switch, port), rate in self._rates.items():
+            totals[port] = totals.get(port, 0.0) + rate
+        for port, total in totals.items():
+            if total >= self.threshold_bps:
+                if port not in self._flagged:
+                    self._flagged.add(port)
+                    self.global_detections.append(
+                        (report.time, port, total))
+            else:
+                self._flagged.discard(port)
+
+    def global_heavy_ports(self) -> set:
+        return set(self._flagged)
+
+
+def make_network_wide_task(task_id: str = "nw-heavy-hitter",
+                           threshold: float = 10e6,
+                           report_floor: float = 1e5,
+                           accuracy_ms: float = 10.0) -> TaskDefinition:
+    """Global HH detection: seeds pre-filter, the harvester merges."""
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=NETWORK_WIDE_SOURCE,
+        machine_name="HHReporter",
+        externals={"accuracy": int(accuracy_ms), "floor": int(report_floor)},
+        harvester=NetworkWideHhHarvester(threshold))
+
+
+def make_task(task_id: str = "heavy-hitter",
+              threshold: float = 10_000_000.0,
+              accuracy_ms: float = 10.0,
+              hitter_action: Optional[dict] = None,
+              harvester: Optional[Harvester] = None) -> TaskDefinition:
+    """Build the HH task.
+
+    ``accuracy_ms`` is the polling accuracy at full PCIe allocation: the
+    seed's interval is ``accuracy / PCIe`` with PCIe in KB/s units, so at
+    the full 1000-unit allocation ``accuracy=10`` polls every 10 ms.
+    """
+    if harvester is None:
+        harvester = HeavyHitterHarvester(threshold)
+    return TaskDefinition.single_machine(
+        task_id=task_id,
+        source=ALMANAC_SOURCE,
+        machine_name="HH",
+        externals={
+            "threshold": int(threshold),
+            # ival = accuracy / PCIe; at the full 1000 KB/s allocation an
+            # accuracy of 10 polls every 10 ms (List. 2's 10/res().PCIe).
+            "accuracy": int(accuracy_ms),
+            "hitterAction": dict(hitter_action or DEFAULT_HITTER_ACTION),
+        },
+        harvester=harvester,
+    )

@@ -1,0 +1,124 @@
+"""Hierarchical heavy hitter (HHH) detection [24].
+
+Two variants, as in Tab. I:
+
+* ``HHH`` — the *inherited* variant: ``extends HH`` and only overrides the
+  reporting state to aggregate detected hitters into /24 prefixes (21 LoC
+  of new code in the paper).
+* ``HHHFull`` — the standalone variant that tracks per-prefix byte counts
+  across levels of the hierarchy itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.harvester import Harvester, SeedReport
+from repro.core.task import TaskDefinition
+from repro.tasks.heavy_hitter import ALMANAC_SOURCE as HH_SOURCE
+from repro.tasks.heavy_hitter import DEFAULT_HITTER_ACTION
+
+#: Inherited variant: reuse the HH machine, override only HHdetected.
+INHERITED_SOURCE = HH_SOURCE + """
+machine HHH extends HH {
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      // Aggregate hitter ports into coarser groups before reporting:
+      // the hierarchical rollup of [24] over the port dimension.
+      list groups;
+      int i = 0;
+      while (i < size(hitters)) {
+        int grp = toint(get(hitters, i) / 8);
+        if (not contains(groups, grp)) then {
+          append(groups, grp);
+        }
+        i = i + 1;
+      }
+      send groups to harvester;
+      setHitterRules(hitters, hitterAction);
+      transit observe;
+    }
+  }
+}
+"""
+
+#: Standalone variant: tracks a two-level prefix hierarchy over sources.
+FULL_SOURCE = """
+machine HHHFull {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = port ANY };
+  external long threshold;
+  external float interval;
+  list byHost = makeMap();
+  list byPrefix = makeMap();
+
+  state collect {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 200) then {
+        return res.vCPU * 10;
+      }
+    }
+    when (pkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        mapInc(byHost, p.src_ip, p.size);
+        mapInc(byPrefix, prefixOf(p.src_ip, 24), p.size);
+        i = i + 1;
+      }
+      list hhh;
+      list prefixes = mapKeys(byPrefix);
+      int j = 0;
+      while (j < size(prefixes)) {
+        long pfx = get(prefixes, j);
+        if (mapGet(byPrefix, pfx) >= threshold) then {
+          append(hhh, ipstr(pfx));
+        }
+        j = j + 1;
+      }
+      if (not is_list_empty(hhh)) then {
+        send hhh to harvester;
+        mapClear(byPrefix);
+        mapClear(byHost);
+      }
+    }
+  }
+
+  when (recv long newTh from harvester) do { threshold = newTh; }
+}
+"""
+
+
+class HhhHarvester(Harvester):
+    """Collects hierarchical heavy hitter reports (groups / prefixes)."""
+
+    def __init__(self) -> None:
+        super().__init__("hhh-harvester")
+        self.hierarchy_hits: Dict[object, int] = {}
+
+    def on_seed_report(self, report: SeedReport) -> None:
+        for group in report.value:
+            self.hierarchy_hits[group] = self.hierarchy_hits.get(group, 0) + 1
+
+
+def make_task(task_id: str = "hierarchical-hh",
+              threshold: float = 10_000_000.0,
+              accuracy_ms: float = 10.0,
+              inherited: bool = True,
+              harvester: Optional[Harvester] = None) -> TaskDefinition:
+    """The HHH task; ``inherited=True`` uses the ``extends HH`` variant."""
+    if harvester is None:
+        harvester = HhhHarvester()
+    if inherited:
+        return TaskDefinition.single_machine(
+            task_id=task_id, source=INHERITED_SOURCE, machine_name="HHH",
+            externals={"threshold": int(threshold),
+                       "accuracy": int(accuracy_ms),
+                       "hitterAction": dict(DEFAULT_HITTER_ACTION)},
+            harvester=harvester)
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=FULL_SOURCE, machine_name="HHHFull",
+        externals={"threshold": int(threshold),
+                   "interval": accuracy_ms / 1000.0},
+        harvester=harvester)

@@ -1,0 +1,221 @@
+"""Infrastructure-health monitors from Tab. I.
+
+* ``LinkFailure`` [23] — a port that carried traffic and went silent for
+  consecutive polls is reported as a failed link; the local reaction
+  mirrors Everflow-style drain: a QoS rule steers traffic off the port.
+* ``TrafficChange`` [25] — the 7-LoC change detector: reports when a
+  window's total volume deviates from the previous window by more than a
+  factor.
+* ``FlowSizeDist`` [26] — periodically ships a flow-size histogram
+  estimated from samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.harvester import Harvester, SeedReport
+from repro.core.task import TaskDefinition
+
+LINK_FAILURE_SOURCE = """
+machine LinkFailure {
+  place all;
+  poll pollStats = Poll { .ival = interval, .what = port ANY };
+  external float interval;
+  external long silentPolls;  // consecutive zero-rate polls before alarm
+  list lastActive = makeMap();  // port -> polls since traffic was seen
+  list failed;
+
+  state watching {
+    util (res) {
+      if (res.vCPU >= 0.25 and res.RAM >= 32) then { return 55; }
+    }
+    when (pollStats as stats) do {
+      int i = 0;
+      while (i < size(stats)) {
+        long pid = get(stats, i).port;
+        if (get(stats, i).rate_bps > 0) then {
+          mapSet(lastActive, pid, 0);
+          if (contains(failed, pid)) then {
+            // Link recovered.
+            send concat_lists(["up"], [pid]) to harvester;
+            removeAt(failed, pid);
+          }
+        } else {
+          if (mapHas(lastActive, pid)) then {
+            long silent = mapInc(lastActive, pid, 1);
+            if (silent == silentPolls and not contains(failed, pid)) then {
+              append(failed, pid);
+              send concat_lists(["down"], [pid]) to harvester;
+              // Local reaction: deprioritize the dead port's traffic so
+              // reroute converges without drops.
+              addTCAMRule(makeRule(port pid, makeQosAction("drain")));
+            }
+          }
+        }
+        i = i + 1;
+      }
+    }
+  }
+}
+
+function int removeAt(list l, long value) {
+  int i = 0;
+  while (i < size(l)) {
+    if (get(l, i) == value) then {
+      remove_at(l, i);
+      return 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+"""
+
+TRAFFIC_CHANGE_SOURCE = """
+machine TrafficChange {
+  place all;
+  poll pollStats = Poll { .ival = interval, .what = port ANY };
+  external float interval;
+  external long factor;
+  float previous = 0.0;
+
+  state watching {
+    util (res) {
+      if (res.vCPU >= 0.25 and res.RAM >= 32) then { return 20; }
+    }
+    when (pollStats as stats) do {
+      float total = 0.0;
+      int i = 0;
+      while (i < size(stats)) {
+        total = total + get(stats, i).rate_bps;
+        i = i + 1;
+      }
+      if (previous > 0 and (total > previous * factor
+                            or total * factor < previous)) then {
+        send total to harvester;
+      }
+      previous = total;
+    }
+  }
+}
+"""
+
+FLOW_SIZE_DIST_SOURCE = """
+machine FlowSizeDist {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = port ANY };
+  time report = reportEvery;
+  external float interval;
+  external float reportEvery;
+  list sizes = makeMap();   // flow key -> sampled bytes
+
+  state sampling {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 128) then {
+        return min(res.vCPU * 8, res.PCIe / 60);
+      }
+    }
+    when (pkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        long key = p.src_ip * 100000 + p.src_port;
+        mapInc(sizes, key, p.size);
+        i = i + 1;
+      }
+    }
+    when (report) do {
+      // Bucketize into a log-scale histogram [26] and ship it; an idle
+      // switch reports nothing at all (local pre-filtering, [DEC]).
+      if (mapSize(sizes) > 0) then {
+        list histogram = makeMap();
+        list flows = mapValues(sizes);
+        int j = 0;
+        while (j < size(flows)) {
+          long bytes = get(flows, j);
+          int bucket = 0;
+          long edge = 1000;
+          while (bytes >= edge and bucket < 10) {
+            bucket = bucket + 1;
+            edge = edge * 10;
+          }
+          mapInc(histogram, bucket, 1);
+          j = j + 1;
+        }
+        send mapValues(histogram) to harvester;
+        mapClear(sizes);
+      }
+    }
+  }
+}
+"""
+
+
+class LinkEventHarvester(Harvester):
+    """Tracks link up/down reports across the fleet."""
+
+    def __init__(self) -> None:
+        super().__init__("link-harvester")
+        self.events: List[tuple] = []
+
+    def on_seed_report(self, report: SeedReport) -> None:
+        if isinstance(report.value, list) and len(report.value) == 2:
+            kind, port = report.value
+            self.events.append((report.time, report.switch, kind, port))
+
+    def down_ports(self) -> set:
+        down = set()
+        for _t, switch, kind, port in self.events:
+            if kind == "down":
+                down.add((switch, port))
+            else:
+                down.discard((switch, port))
+        return down
+
+
+class SeriesHarvester(Harvester):
+    """Records a time series of scalar or vector reports."""
+
+    def __init__(self, name: str = "series-harvester") -> None:
+        super().__init__(name)
+
+    @property
+    def series(self) -> List[tuple]:
+        return [(r.time, r.value) for r in self.reports]
+
+
+def make_link_failure_task(task_id: str = "link-failure",
+                           interval_s: float = 0.01, silent_polls: int = 3,
+                           harvester: Optional[Harvester] = None
+                           ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=LINK_FAILURE_SOURCE,
+        machine_name="LinkFailure",
+        externals={"interval": float(interval_s),
+                   "silentPolls": int(silent_polls)},
+        harvester=harvester or LinkEventHarvester())
+
+
+def make_traffic_change_task(task_id: str = "traffic-change",
+                             interval_s: float = 0.1, factor: int = 3,
+                             harvester: Optional[Harvester] = None
+                             ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=TRAFFIC_CHANGE_SOURCE,
+        machine_name="TrafficChange",
+        externals={"interval": float(interval_s), "factor": int(factor)},
+        harvester=harvester or SeriesHarvester("traffic-change-harvester"))
+
+
+def make_flow_size_dist_task(task_id: str = "flow-size-dist",
+                             interval_s: float = 0.01,
+                             report_every_s: float = 1.0,
+                             harvester: Optional[Harvester] = None
+                             ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=FLOW_SIZE_DIST_SOURCE,
+        machine_name="FlowSizeDist",
+        externals={"interval": float(interval_s),
+                   "reportEvery": float(report_every_s)},
+        harvester=harvester or SeriesHarvester("fsd-harvester"))

@@ -1,0 +1,232 @@
+"""TCP-centric monitors from NetQRE [28] (Tab. I).
+
+* ``NewTcpConn`` — counts newly observed TCP connections per window.
+* ``SynFlood`` — SYN-vs-SYNACK imbalance detection with a local SYN
+  rate-limit reaction.
+* ``PartialTcpFlow`` — connections that began (SYN) but never completed a
+  handshake within a window; a signature of stealth scans and floods.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.harvester import Harvester, SeedReport
+from repro.core.task import TaskDefinition
+
+NEW_TCP_CONN_SOURCE = """
+machine NewTcpConn {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = proto 6 and tcpFlags 2 };
+  external float interval;
+  list seen = makeMap();
+
+  state counting {
+    util (res) {
+      if (res.vCPU >= 0.25 and res.RAM >= 32) then { return 10; }
+    }
+    when (pkts as samples) do {
+      int fresh = 0;
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        long key = p.src_ip * 65536 + p.dst_port;
+        if (mapGet(seen, key) == 0) then {
+          mapSet(seen, key, 1);
+          fresh = fresh + 1;
+        }
+        i = i + 1;
+      }
+      if (fresh > 0) then {
+        send fresh to harvester;
+      }
+    }
+  }
+}
+"""
+
+SYN_FLOOD_SOURCE = """
+machine SynFlood {
+  place all;
+  probe synPkts = Probe { .ival = interval, .what = proto 6 and tcpFlags 2 };
+  external long synThreshold;  // distinct SYN sources per window
+  external long limitRate;
+  external float interval;
+  list synCount = makeMap();   // victim -> SYNs seen this window
+  list ackCount = makeMap();   // victim -> SYNACKs seen this window
+  list protecting;
+
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 64) then {
+        return min(res.vCPU * 15, res.PCIe / 40);
+      }
+    }
+    when (synPkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        if (p.is_synack) then {
+          mapInc(ackCount, p.src_ip, 1);
+        } else {
+          mapInc(synCount, p.dst_ip, 1);
+        }
+        i = i + 1;
+      }
+      list victims = mapKeys(synCount);
+      int j = 0;
+      while (j < size(victims)) {
+        long victim = get(victims, j);
+        long syns = mapGet(synCount, victim);
+        long acks = mapGet(ackCount, victim);
+        if (syns >= synThreshold and syns > acks * 3) then {
+          if (not contains(protecting, victim)) then {
+            append(protecting, victim);
+            transit protect;
+          }
+        }
+        j = j + 1;
+      }
+      mapClear(synCount);
+      mapClear(ackCount);
+    }
+  }
+
+  state protect {
+    util (res) { return 150; }
+    when (enter) do {
+      long victim = get(protecting, size(protecting) - 1);
+      // Local reaction: throttle SYNs toward the victim.
+      addTCAMRule(makeRule(dstIP ipstr(victim) and tcpFlags 2,
+                           makeRateLimitAction(limitRate)));
+      send ipstr(victim) to harvester;
+      transit observe;
+    }
+  }
+
+  when (recv string release from harvester) do {
+    removeTCAMRule(dstIP release and tcpFlags 2);
+  }
+}
+"""
+
+PARTIAL_TCP_SOURCE = """
+machine PartialTcpFlow {
+  place all;
+  probe pkts = Probe { .ival = interval, .what = proto 6 };
+  time window = windowLen;
+  external float interval;
+  external float windowLen;
+  external long partialThreshold;
+  list opened = makeMap();     // src -> flows opened (SYN seen)
+  list completed = makeMap();  // src -> flows completed (ACK/FIN seen)
+
+  state tracking {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 96) then {
+        return min(res.vCPU * 12, res.PCIe / 50);
+      }
+    }
+    when (pkts as samples) do {
+      int i = 0;
+      while (i < size(samples)) {
+        packet p = get(samples, i);
+        if (p.is_syn) then {
+          mapInc(opened, p.src_ip, 1);
+        }
+        if (p.is_fin or p.is_synack) then {
+          mapInc(completed, p.src_ip, 1);
+        }
+        i = i + 1;
+      }
+    }
+    when (window) do {
+      // End of window: sources with many opens and few completions hold
+      // partial flows.
+      list suspects;
+      list srcs = mapKeys(opened);
+      int j = 0;
+      while (j < size(srcs)) {
+        long src = get(srcs, j);
+        long part = mapGet(opened, src) - mapGet(completed, src);
+        if (part >= partialThreshold) then {
+          append(suspects, ipstr(src));
+        }
+        j = j + 1;
+      }
+      if (not is_list_empty(suspects)) then {
+        send suspects to harvester;
+      }
+      mapClear(opened);
+      mapClear(completed);
+    }
+  }
+}
+"""
+
+
+class CountingHarvester(Harvester):
+    """Accumulates numeric reports (new-connection counts etc.)."""
+
+    def __init__(self, name: str = "counting-harvester") -> None:
+        super().__init__(name)
+        self.total = 0
+
+    def on_seed_report(self, report: SeedReport) -> None:
+        if isinstance(report.value, (int, float)):
+            self.total += report.value
+
+
+class SuspectHarvester(Harvester):
+    """Accumulates suspect-host reports (SYN flood, partial flows)."""
+
+    def __init__(self, name: str = "suspect-harvester") -> None:
+        super().__init__(name)
+        self.suspects: List[str] = []
+
+    def on_seed_report(self, report: SeedReport) -> None:
+        value = report.value
+        if isinstance(value, list):
+            self.suspects.extend(str(v) for v in value)
+        else:
+            self.suspects.append(str(value))
+
+
+def make_new_tcp_conn_task(task_id: str = "new-tcp-conn",
+                           interval_s: float = 0.01,
+                           harvester: Optional[Harvester] = None
+                           ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=NEW_TCP_CONN_SOURCE,
+        machine_name="NewTcpConn",
+        externals={"interval": float(interval_s)},
+        harvester=harvester or CountingHarvester())
+
+
+def make_syn_flood_task(task_id: str = "syn-flood",
+                        syn_threshold: int = 50,
+                        limit_rate: float = 10_000.0,
+                        interval_s: float = 0.01,
+                        harvester: Optional[Harvester] = None
+                        ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=SYN_FLOOD_SOURCE, machine_name="SynFlood",
+        externals={"synThreshold": int(syn_threshold),
+                   "limitRate": int(limit_rate),
+                   "interval": float(interval_s)},
+        harvester=harvester or SuspectHarvester("syn-flood-harvester"))
+
+
+def make_partial_tcp_task(task_id: str = "partial-tcp-flow",
+                          partial_threshold: int = 20,
+                          window_s: float = 0.5,
+                          interval_s: float = 0.01,
+                          harvester: Optional[Harvester] = None
+                          ) -> TaskDefinition:
+    return TaskDefinition.single_machine(
+        task_id=task_id, source=PARTIAL_TCP_SOURCE,
+        machine_name="PartialTcpFlow",
+        externals={"partialThreshold": int(partial_threshold),
+                   "windowLen": float(window_s),
+                   "interval": float(interval_s)},
+        harvester=harvester or SuspectHarvester("partial-tcp-harvester"))

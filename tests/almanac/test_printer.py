@@ -1,0 +1,151 @@
+"""Pretty-printer tests: parse(print(p)) == p (up to source positions)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+
+from repro.almanac import astnodes as ast
+from repro.almanac.parser import parse
+from repro.almanac.printer import (
+    format_expr,
+    format_machine,
+    format_program,
+)
+from repro.tasks import ALMANAC_SOURCES
+from tests.almanac.test_xmlcodec import almanac_source
+
+
+def strip_positions(node):
+    """Recursively zero `line`/`column` fields for position-agnostic
+    equality."""
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        changes = {}
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            if field.name in ("line", "column"):
+                changes[field.name] = 0
+            else:
+                changes[field.name] = strip_positions(value)
+        return dataclasses.replace(node, **changes)
+    if isinstance(node, list):
+        return [strip_positions(item) for item in node]
+    if isinstance(node, tuple):
+        return tuple(strip_positions(item) for item in node)
+    return node
+
+
+def assert_roundtrip(source):
+    original = strip_positions(parse(source))
+    printed = format_program(parse(source))
+    reparsed = strip_positions(parse(printed))
+    assert reparsed == original, printed
+
+
+class TestLibraryRoundtrip:
+    @pytest.mark.parametrize("name", sorted(ALMANAC_SOURCES))
+    def test_task_sources_roundtrip(self, name):
+        source, _machine = ALMANAC_SOURCES[name]
+        assert_roundtrip(source)
+
+    def test_printed_form_is_stable(self):
+        """print(parse(print(parse(src)))) == print(parse(src))."""
+        source, _ = ALMANAC_SOURCES["heavy_hitter"]
+        once = format_program(parse(source))
+        twice = format_program(parse(once))
+        assert once == twice
+
+
+class TestExpressions:
+    def _roundtrip_expr(self, text):
+        source = f"""
+machine M {{ place all;
+  state s {{ when (enter) do {{ x = {text}; }} }} }}"""
+        program = parse(source)
+        expr = program.machines[0].states[0].events[0].actions[0].value
+        printed = format_expr(expr)
+        program2 = parse(source.replace(text, printed))
+        expr2 = program2.machines[0].states[0].events[0].actions[0].value
+        assert strip_positions(expr2) == strip_positions(expr)
+        return printed
+
+    def test_precedence_no_spurious_parens(self):
+        assert self._roundtrip_expr("1 + 2 * 3") == "1 + 2 * 3"
+        assert self._roundtrip_expr("(1 + 2) * 3") == "(1 + 2) * 3"
+
+    def test_left_associativity_preserved(self):
+        # a - (b - c) must keep its parens; (a - b) - c must not.
+        assert self._roundtrip_expr("1 - (2 - 3)") == "1 - (2 - 3)"
+        assert self._roundtrip_expr("1 - 2 - 3") == "1 - 2 - 3"
+
+    def test_and_or_nesting(self):
+        assert self._roundtrip_expr("a or b and c") == "a or b and c"
+        assert self._roundtrip_expr("(a or b) and c") == "(a or b) and c"
+
+    def test_filters_and_strings(self):
+        printed = self._roundtrip_expr(
+            'srcIP "10.1.1.4" and dstIP "10.0.1.0/24"')
+        assert 'srcIP "10.1.1.4"' in printed
+
+    def test_string_escapes(self):
+        self._roundtrip_expr(r'"line\nbreak \"quoted\""')
+
+    def test_struct_and_list_literals(self):
+        self._roundtrip_expr("[1, 2, res().PCIe]")
+
+    def test_unary(self):
+        assert self._roundtrip_expr("not (a and b)") == "not (a and b)"
+        assert self._roundtrip_expr("-x + 1") == "-x + 1"
+
+
+class TestDeclarations:
+    def test_machine_with_everything(self):
+        assert_roundtrip("""
+struct Pair { int a; int b; }
+function long helper(long x) { return x + 1; }
+machine Base {
+  place any 2, 5;
+  external long threshold;
+  poll p = Poll { .ival = 10 / res().PCIe, .what = port ANY };
+  state one {
+    int local = 3;
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 100) then {
+        return min(res.vCPU, res.PCIe);
+      }
+    }
+    when (p as stats) do {
+      if (size(stats) > threshold) then { transit two; }
+    }
+  }
+  state two {
+    when (enter) do {
+      send helper(1) to harvester;
+      transit one;
+    }
+    when (exit) do { }
+    when (realloc) do { }
+  }
+  when (recv long t from harvester) do { threshold = t; }
+}
+machine Child extends Base {
+  state two { when (enter) do { send 2 to Base @ 3; transit one; } }
+}
+""")
+
+    def test_range_placements(self):
+        assert_roundtrip("""
+machine P {
+  place all midpoint range == 0;
+  place any receiver (dstIP "10.0.1.0/24") range <= 1;
+  place all sender range >= 2;
+  state s { }
+}
+""")
+
+
+class TestPropertyRoundtrip:
+    @given(almanac_source())
+    @settings(max_examples=40, deadline=None)
+    def test_random_programs_roundtrip(self, source):
+        assert_roundtrip(source)

@@ -1,0 +1,126 @@
+"""Direct tests for the Almanac runtime library helpers."""
+
+import pytest
+
+from repro.almanac.stdlib import is_struct, make_struct, pure_builtins
+from repro.errors import AlmanacRuntimeError
+
+
+@pytest.fixture
+def builtins():
+    return pure_builtins()
+
+
+class TestStructs:
+    def test_make_and_inspect(self):
+        rule = make_struct("Rule", pattern=1, act=2)
+        assert is_struct(rule)
+        assert is_struct(rule, "Rule")
+        assert not is_struct(rule, "Poll")
+        assert not is_struct({"pattern": 1})
+        assert not is_struct(42)
+
+
+class TestListBuiltins:
+    def test_append_returns_list(self, builtins):
+        xs = []
+        assert builtins["append"](xs, 1) is xs
+        assert xs == [1]
+
+    def test_list_type_enforced(self, builtins):
+        with pytest.raises(AlmanacRuntimeError):
+            builtins["append"](42, 1)
+        with pytest.raises(AlmanacRuntimeError):
+            builtins["is_list_empty"]("nope")
+
+    def test_get_remove_at(self, builtins):
+        xs = [10, 20, 30]
+        assert builtins["get"](xs, 1) == 20
+        assert builtins["remove_at"](xs, 0) == 10
+        assert xs == [20, 30]
+
+    def test_sorted_copy_does_not_mutate(self, builtins):
+        xs = [3, 1, 2]
+        assert builtins["sorted_copy"](xs) == [1, 2, 3]
+        assert xs == [3, 1, 2]
+
+    def test_concat(self, builtins):
+        assert builtins["concat_lists"]([1], [2, 3]) == [1, 2, 3]
+
+
+class TestMapBuiltins:
+    def test_counter_semantics(self, builtins):
+        m = builtins["makeMap"]()
+        assert builtins["mapInc"](m, "k", 1) == 1
+        assert builtins["mapInc"](m, "k", 4) == 5
+        assert builtins["mapGet"](m, "k") == 5
+        assert builtins["mapGet"](m, "absent") == 0
+
+    def test_set_del_has(self, builtins):
+        m = {}
+        builtins["mapSet"](m, "a", 9)
+        assert builtins["mapHas"](m, "a")
+        builtins["mapDel"](m, "a")
+        assert not builtins["mapHas"](m, "a")
+        builtins["mapDel"](m, "a")  # idempotent
+
+    def test_keys_values_size_clear(self, builtins):
+        m = {"a": 1, "b": 2}
+        assert sorted(builtins["mapKeys"](m)) == ["a", "b"]
+        assert sorted(builtins["mapValues"](m)) == [1, 2]
+        assert builtins["mapSize"](m) == 2
+        builtins["mapClear"](m)
+        assert m == {}
+
+
+class TestMathAndStats:
+    def test_entropy_uniform(self, builtins):
+        assert builtins["entropy"]([1, 2, 3, 4]) == pytest.approx(2.0)
+        assert builtins["entropy"]([7, 7, 7]) == 0.0
+        assert builtins["entropy"]([]) == 0.0
+
+    def test_min_max_variadic(self, builtins):
+        assert builtins["min"](3, 1, 2) == 1
+        assert builtins["max"](3, 1, 2) == 3
+
+    def test_mean_sum(self, builtins):
+        assert builtins["mean"]([1, 2, 3]) == 2.0
+        assert builtins["mean"]([]) == 0.0
+        assert builtins["sum_list"]([1, 2]) == 3
+
+
+class TestStringsAndIps:
+    def test_match_regex(self, builtins):
+        assert builtins["match"]("ssh login failed", "fail")
+        assert not builtins["match"]("ok", "fail")
+
+    def test_split_strlen(self, builtins):
+        assert builtins["split"]("a,b,c", ",") == ["a", "b", "c"]
+        assert builtins["strlen"]("abc") == 3
+
+    def test_ipstr_prefix(self, builtins):
+        assert builtins["ipstr"](167772161) == "10.0.0.1"
+        assert builtins["prefixOf"](167772161, 24) == 167772160
+        assert builtins["prefixOf"](167772161, 0) == 0
+        with pytest.raises(AlmanacRuntimeError):
+            builtins["prefixOf"](1, 40)
+
+    def test_conversions(self, builtins):
+        assert builtins["toint"]("3.7") == 3
+        assert builtins["tofloat"]("2.5") == 2.5
+        assert builtins["tostring"](12) == "12"
+
+
+class TestActionConstructors:
+    def test_action_shapes(self, builtins):
+        assert builtins["makeDropAction"]() == {"action": "drop"}
+        limit = builtins["makeRateLimitAction"](1000)
+        assert limit == {"action": "rate_limit", "rate_bps": 1000.0}
+        assert builtins["makeQosAction"]("gold")["qos_class"] == "gold"
+        assert builtins["makeMirrorAction"]()["action"] == "mirror"
+        assert builtins["makeCountAction"]()["action"] == "count"
+
+    def test_make_rule(self, builtins):
+        rule = builtins["makeRule"]("pattern", {"action": "drop"})
+        assert is_struct(rule, "Rule")
+        assert rule["act"] == {"action": "drop"}

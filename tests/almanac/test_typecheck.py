@@ -1,0 +1,134 @@
+"""Static semantic checker tests."""
+
+import pytest
+
+from repro.almanac.parser import parse
+from repro.almanac.typecheck import assert_well_formed, check_program
+from repro.errors import AlmanacTypeError
+from repro.tasks import ALMANAC_SOURCES
+
+
+def diagnostics_for(source):
+    return check_program(parse(source))
+
+
+class TestCleanPrograms:
+    def test_all_library_tasks_are_clean(self):
+        for name, (source, _machine) in ALMANAC_SOURCES.items():
+            diagnostics = diagnostics_for(source)
+            assert diagnostics == [], f"{name}: {diagnostics[:3]}"
+
+    def test_assert_well_formed_passes(self):
+        source, _ = ALMANAC_SOURCES["heavy_hitter"]
+        assert_well_formed(parse(source))
+
+
+class TestDetectedProblems:
+    def _messages(self, source):
+        return [d.message for d in diagnostics_for(source)]
+
+    def test_transit_to_unknown_state(self):
+        messages = self._messages("""
+machine M { place all;
+  state a { when (enter) do { transit ghost; } } }""")
+        assert any("unknown state 'ghost'" in m for m in messages)
+
+    def test_undeclared_variable_use(self):
+        messages = self._messages("""
+machine M { place all;
+  state a { when (enter) do { int x = y + 1; } } }""")
+        assert any("undeclared variable 'y'" in m for m in messages)
+
+    def test_assignment_to_undeclared(self):
+        messages = self._messages("""
+machine M { place all;
+  state a { when (enter) do { nope = 1; } } }""")
+        assert any("undeclared variable 'nope'" in m for m in messages)
+
+    def test_send_to_unknown_machine(self):
+        messages = self._messages("""
+machine M { place all;
+  state a { when (enter) do { send 1 to Ghost; } } }""")
+        assert any("unknown machine 'Ghost'" in m for m in messages)
+
+    def test_recv_from_unknown_machine(self):
+        messages = self._messages("""
+machine M { place all;
+  state a { when (recv long x from Ghost) do { } } }""")
+        assert any("unknown machine 'Ghost'" in m for m in messages)
+
+    def test_event_on_non_trigger_variable(self):
+        messages = self._messages("""
+machine M { place all;
+  long counter;
+  state a { when (counter as x) do { } } }""")
+        assert any("not a time/poll/probe variable" in m for m in messages)
+
+    def test_unknown_function_call(self):
+        messages = self._messages("""
+machine M { place all;
+  state a { when (enter) do { frobnicate(1); } } }""")
+        assert any("unknown function 'frobnicate'" in m for m in messages)
+
+    def test_function_arity(self):
+        messages = self._messages("""
+function long f(long a, long b) { return a; }
+machine M { place all;
+  state a { when (enter) do { f(1); } } }""")
+        assert any("takes 2 argument(s), got 1" in m for m in messages)
+
+    def test_transit_inside_function(self):
+        messages = self._messages("""
+function int bad() { transit a; return 1; }
+machine M { place all;
+  state a { when (enter) do { bad(); } } }""")
+        assert any("not allowed inside functions" in m for m in messages)
+
+    def test_duplicate_state(self):
+        messages = self._messages("""
+machine M { place all; state a { } state a { } }""")
+        assert any("duplicate state 'a'" in m for m in messages)
+
+    def test_duplicate_variable(self):
+        messages = self._messages("""
+machine M { place all; long x; long x; state a { } }""")
+        assert any("duplicate variable 'x'" in m for m in messages)
+
+    def test_trigger_binding_in_scope(self):
+        # the `as stats` binding must be visible inside the handler
+        assert diagnostics_for("""
+machine M { place all;
+  poll p = Poll { .ival = 1, .what = port ANY };
+  state a { when (p as stats) do { int n = size(stats); } } }""") == []
+
+    def test_recv_binding_in_scope(self):
+        assert diagnostics_for("""
+machine M { place all;
+  state a { when (recv long v from harvester) do { int x = v; } } }""") == []
+
+    def test_inherited_members_visible(self):
+        assert diagnostics_for("""
+machine Base { place all; long shared; state main { } }
+machine Child extends Base {
+  state main { when (enter) do { shared = 1; transit main; } }
+}""") == []
+
+    def test_assert_raises_with_summary(self):
+        program = parse("""
+machine M { place all;
+  state a { when (enter) do { transit ghost; nope = 1; } } }""")
+        with pytest.raises(AlmanacTypeError, match="2 problem"):
+            assert_well_formed(program)
+
+    def test_multiple_diagnostics_collected(self):
+        messages = self._messages("""
+machine M { place all;
+  state a {
+    when (enter) do {
+      transit ghost;
+      send 1 to Nowhere;
+      mystery(1, 2);
+    }
+  }
+}""")
+        assert len(messages) == 3

@@ -1,0 +1,93 @@
+"""FarmDeployment wiring and failure-injection tests."""
+
+import pytest
+
+from repro.core.deployment import FarmDeployment
+from repro.core.task import TaskDefinition
+from repro.errors import AlmanacTypeError, DeploymentError
+from repro.net.topology import spine_leaf
+from repro.tasks import make_heavy_hitter_task
+
+
+class TestWiring:
+    def test_default_topology(self):
+        farm = FarmDeployment()
+        assert farm.topology.switch_ids
+        assert len(farm.seeder.soils) == len(farm.topology.switch_ids)
+
+    def test_soil_accessor(self):
+        farm = FarmDeployment(topology=spine_leaf(1, 1, 1))
+        leaf = farm.topology.leaf_ids[0]
+        assert farm.soil(leaf).switch.switch_id == leaf
+
+    def test_run_advances_time(self):
+        farm = FarmDeployment(topology=spine_leaf(1, 1, 1))
+        farm.run(until=2.5)
+        assert farm.sim.now == 2.5
+
+
+class TestSubmitValidation:
+    def test_typecheck_gate_rejects_bad_programs(self):
+        farm = FarmDeployment(topology=spine_leaf(1, 1, 1))
+        bad = TaskDefinition.single_machine(
+            task_id="bad",
+            source="""
+machine Bad { place all;
+  state s { when (enter) do { transit nowhere; } } }""",
+            machine_name="Bad")
+        with pytest.raises(AlmanacTypeError):
+            farm.submit(bad)
+        # nothing was deployed and the task is not registered
+        assert "bad" not in farm.seeder.tasks
+        assert farm.seeder.deployed_seed_count() == 0
+
+    def test_missing_external_rejected_at_submit(self):
+        farm = FarmDeployment(topology=spine_leaf(1, 1, 1))
+        task = TaskDefinition.single_machine(
+            task_id="needs-ext",
+            source="""
+machine N { place all; external long t; state s { } }""",
+            machine_name="N")
+        with pytest.raises(Exception):
+            farm.submit(task)
+
+
+class TestFaultInjection:
+    def test_task_without_harvester_drops_reports_silently(self):
+        farm = FarmDeployment(topology=spine_leaf(1, 1, 1))
+        task = TaskDefinition.single_machine(
+            task_id="orphan",
+            source="""
+machine Orphan { place all;
+  time tick = 0.05;
+  state s {
+    util (res) { if (res.vCPU >= 0.1) then { return 1; } }
+    when (tick) do { send 1 to harvester; }
+  } }""",
+            machine_name="Orphan")
+        farm.submit(task)
+        farm.settle()
+        farm.run(until=farm.sim.now + 0.3)  # must not raise
+        deployments = farm.soil(
+            farm.topology.leaf_ids[0]).deployments
+        assert next(iter(deployments.values())).messages_sent >= 4
+
+    def test_undeploy_with_events_in_flight(self):
+        farm = FarmDeployment(topology=spine_leaf(1, 1, 1))
+        task = make_heavy_hitter_task(accuracy_ms=1)
+        farm.submit(task)
+        farm.settle()
+        # Remove the task exactly when poll deliveries are airborne.
+        farm.run(until=farm.sim.now + 0.0205)
+        farm.seeder.remove_task("heavy-hitter")
+        farm.run(until=farm.sim.now + 0.5)  # in-flight events are dropped
+        assert farm.seeder.deployed_seed_count() == 0
+
+    def test_resubmit_after_removal(self):
+        farm = FarmDeployment(topology=spine_leaf(1, 1, 1))
+        farm.submit(make_heavy_hitter_task())
+        farm.settle()
+        farm.seeder.remove_task("heavy-hitter")
+        farm.submit(make_heavy_hitter_task())
+        farm.settle()
+        assert farm.seeder.deployed_seed_count() == 2

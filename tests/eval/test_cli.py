@@ -1,0 +1,27 @@
+"""CLI (`python -m repro.eval`) tests."""
+
+import pytest
+
+from repro.eval.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main(["prog", "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "tab4" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["prog", "nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_every_artifact(self):
+        assert set(EXPERIMENTS) == {"tab4", "fig4", "fig5", "fig6", "fig7",
+                                    "fig8", "fig9", "fig10"}
+
+    def test_fast_experiment_runs(self, capsys):
+        assert main(["prog", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "shared_buffer" in out
+        assert "done in" in out

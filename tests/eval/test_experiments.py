@@ -1,0 +1,148 @@
+"""Smoke + shape tests for the experiment drivers (scaled-down params;
+the full-size sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro.eval import (
+    format_latency,
+    format_rate,
+    format_table,
+    linear_slope,
+    run_fig5_cpu_load,
+    run_fig6_seed_scaling,
+    run_fig7_placement,
+    run_fig8_pcie,
+    run_fig9_aggregation,
+    run_fig10_comm_latency,
+    series_by,
+)
+
+
+class TestFig5:
+    def test_sflow_flat_farm_grows(self):
+        points = run_fig5_cpu_load(flow_counts=(100, 1000), duration_s=1.0)
+        series = series_by(points, "system", "flows", "cpu_load_percent")
+        farm = dict(series["FARM"])
+        sflow = dict(series["sFlow"])
+        # FARM grows with monitored flows; sFlow stays flat.
+        assert farm[1000] > farm[100] * 2
+        assert sflow[1000] == pytest.approx(sflow[100], rel=0.1)
+
+
+class TestFig6:
+    def test_hh_load_linear_in_seeds(self):
+        points = run_fig6_seed_scaling(task="hh", accuracy_ms=10.0,
+                                       seed_counts=(10, 50), duration_s=0.5)
+        loads = {p.seeds: p.cpu_load_percent for p in points}
+        assert loads[50] > loads[10] * 3
+        assert all(p.polling_accuracy_met for p in points)
+
+    def test_1ms_costs_more_than_10ms(self):
+        fast = run_fig6_seed_scaling(task="hh", accuracy_ms=1.0,
+                                     seed_counts=(20,), duration_s=0.5)
+        slow = run_fig6_seed_scaling(task="hh", accuracy_ms=10.0,
+                                     seed_counts=(20,), duration_s=0.5)
+        assert fast[0].cpu_load_percent > 5 * slow[0].cpu_load_percent
+
+    def test_ml_1ms_overloads_cpu(self):
+        points = run_fig6_seed_scaling(task="ml", accuracy_ms=1.0,
+                                       seed_counts=(10, 50),
+                                       duration_s=0.3)
+        loads = {p.seeds: p.cpu_load_percent for p in points}
+        assert loads[50] > 300.0  # the Fig. 6c blow-up
+
+    def test_ml_partitioning_tames_load(self):
+        """Fig. 6d: 10 iterations at 10 ms costs ~the same CPU as 1 ms x1
+        but runs 10x fewer parallel timers."""
+        parallel = run_fig6_seed_scaling(task="ml", accuracy_ms=1.0,
+                                         iterations=1, seed_counts=(50,),
+                                         duration_s=0.3)
+        partitioned = run_fig6_seed_scaling(task="ml", accuracy_ms=10.0,
+                                            iterations=10, seed_counts=(50,),
+                                            duration_s=0.3)
+        assert partitioned[0].cpu_load_percent \
+            <= parallel[0].cpu_load_percent * 1.2
+
+
+class TestFig7:
+    def test_heuristic_tracks_milp_and_is_fast(self):
+        points = run_fig7_placement(seed_counts=(60,), num_switches=12,
+                                    runs_per_size=2,
+                                    milp_time_limits=(5.0,))
+        by_solver = {p.solver: p for p in points}
+        farm = by_solver["FARM"]
+        milp = by_solver["MILP(5s)"]
+        assert farm.utility >= 0.5 * milp.utility
+        assert farm.utility <= milp.utility * 1.001
+
+    def test_heuristic_scales_without_milp(self):
+        points = run_fig7_placement(seed_counts=(500,), num_switches=100,
+                                    runs_per_size=1, include_milp=False)
+        assert points[0].runtime_s < 30.0
+        assert points[0].utility > 0
+
+
+class TestFig8:
+    def test_pcie_congests_asic_does_not(self):
+        points = run_fig8_pcie(seed_counts=(1, 8), duration_s=0.1)
+        by_seeds = {p.seeds: p for p in points}
+        assert by_seeds[8].pcie_oversubscription > 1.0
+        assert by_seeds[8].asic_utilization < 0.01
+        assert by_seeds[8].pcie_oversubscription \
+            > by_seeds[1].pcie_oversubscription * 5
+
+    def test_aggregation_collapses_demand(self):
+        no_agg = run_fig8_pcie(seed_counts=(8,), duration_s=0.1)[0]
+        agg = run_fig8_pcie(seed_counts=(8,), duration_s=0.1,
+                            aggregation=True)[0]
+        assert agg.pcie_oversubscription < no_agg.pcie_oversubscription / 4
+
+
+class TestFig9:
+    def test_processes_pay_for_aggregation_threads_do_not(self):
+        points = run_fig9_aggregation(seed_counts=(100,), duration_s=0.5)
+        def load(mode, agg):
+            return next(p.soil_cpu_percent for p in points
+                        if p.mode == mode and p.aggregation == agg)
+        # threads: equal regardless of aggregation
+        assert load("threads", True) \
+            == pytest.approx(load("threads", False), rel=0.25)
+        # processes: aggregation visibly more expensive
+        assert load("processes", True) > load("processes", False) * 1.2
+        # processes are far above threads overall
+        assert load("processes", False) > load("threads", False) * 3
+
+
+class TestFig10:
+    def test_grpc_linear_shared_buffer_flat(self):
+        points = run_fig10_comm_latency(seed_counts=(1, 50, 150))
+        series = series_by(points, "scheme", "seeds", "latency_s")
+        grpc_slope = linear_slope(series["grpc"])
+        shared_slope = linear_slope(series["shared_buffer"])
+        assert grpc_slope > 0
+        assert shared_slope == pytest.approx(0.0, abs=1e-9)
+        assert dict(series["grpc"])[150] > 100 * dict(
+            series["shared_buffer"])[150]
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        table = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_latency_units(self):
+        assert format_latency(None) == "n/a"
+        assert format_latency(5e-6).endswith("us")
+        assert format_latency(5e-3).endswith("ms")
+        assert format_latency(2.5).endswith("s")
+
+    def test_format_rate_prefixes(self):
+        assert format_rate(5e9).startswith("5.00 G")
+        assert format_rate(5e3).startswith("5.00 K")
+        assert format_rate(5.0) == "5.0 B/s"
+
+    def test_linear_slope(self):
+        assert linear_slope([(0, 0), (1, 2), (2, 4)]) == pytest.approx(2.0)
+        assert linear_slope([(1, 5)]) == 0.0

@@ -1,0 +1,49 @@
+"""Feature-matrix (Tab. V) data tests."""
+
+from repro.eval.features import (
+    FEATURE_MATRIX,
+    feature_table,
+    implemented_capabilities,
+)
+
+
+class TestFeatureMatrix:
+    def test_farm_has_every_feature(self):
+        farm = feature_table()["FARM"]
+        assert all((farm.decentralized, farm.expressive, farm.optimized,
+                    farm.independent, farm.local_reactions,
+                    farm.dynamic_deployment))
+
+    def test_no_baseline_has_every_feature(self):
+        for row in FEATURE_MATRIX:
+            if row.system == "FARM":
+                continue
+            assert not all((row.decentralized, row.expressive,
+                            row.optimized, row.independent,
+                            row.local_reactions, row.dynamic_deployment))
+
+    def test_paper_specific_claims(self):
+        table = feature_table()
+        # sFlow is platform-independent but fully collector-centric.
+        assert table["sFlow"].independent
+        assert not table["sFlow"].decentralized
+        # Newton adds dynamic deployment over Sonata, nothing else.
+        assert table["Newton"].dynamic_deployment
+        assert not table["Sonata"].dynamic_deployment
+        sonata = table["Sonata"]
+        newton = table["Newton"]
+        assert (sonata.decentralized, sonata.expressive, sonata.optimized,
+                sonata.independent) == (newton.decentralized,
+                                        newton.expressive, newton.optimized,
+                                        newton.independent)
+        # Marple aggregates on the switch ([IND] via its abstraction).
+        assert table["Marple"].decentralized
+
+    def test_implemented_capabilities_cover_built_systems(self):
+        capabilities = implemented_capabilities()
+        assert set(capabilities) == {"FARM", "sFlow", "Sonata", "Newton"}
+        table = feature_table()
+        for system, caps in capabilities.items():
+            row = table[system]
+            assert caps["decentralized"] == row.decentralized
+            assert caps["dynamic_deployment"] == row.dynamic_deployment

@@ -1,0 +1,170 @@
+"""Behavioral scenarios for the Tab. I tasks not covered elsewhere:
+Slowloris, flow-size distribution, new-TCP-connection counting, entropy
+anomaly, partial TCP flows, and the standalone HHH variant."""
+
+import pytest
+
+from repro.core.deployment import FarmDeployment
+from repro.net.addresses import parse_ip
+from repro.net.packet import PROTO_TCP, Flow, FlowKey, TCP_SYN
+from repro.net.topology import spine_leaf
+from repro.net.traffic import (
+    DDoSWorkload,
+    PortScanWorkload,
+    SlowlorisWorkload,
+    SynFloodWorkload,
+    UniformWorkload,
+)
+from repro.switchsim.tcam import RuleAction
+from repro.tasks import (
+    make_entropy_task,
+    make_flow_size_dist_task,
+    make_hierarchical_hh_task,
+    make_new_tcp_conn_task,
+    make_partial_tcp_task,
+    make_slowloris_task,
+)
+
+
+@pytest.fixture
+def farm():
+    return FarmDeployment(topology=spine_leaf(1, 1, 1))
+
+
+def leaf_of(farm):
+    return farm.topology.leaf_ids[0]
+
+
+class TestSlowlorisScenario:
+    def test_crowd_of_idle_connections_detected(self, farm):
+        task = make_slowloris_task(conn_threshold=20,
+                                   avg_size_cap=300,
+                                   interval_s=0.02)
+        farm.submit(task)
+        farm.settle()
+        leaf = leaf_of(farm)
+        attack = SlowlorisWorkload(num_connections=40,
+                                   server_ip="10.80.0.1")
+        farm.start_workload(attack, leaf)
+        farm.run(until=farm.sim.now + 2.0)
+        assert "10.80.0.1" in task.harvester.suspects
+        switch = farm.fleet.get(leaf)
+        assert any(r.action is RuleAction.RATE_LIMIT
+                   for r in switch.tcam.rules("monitoring"))
+
+    def test_busy_server_not_flagged(self, farm):
+        """Many clients moving real payloads is a popular server, not a
+        Slowloris attack (the average-sampled-size guard)."""
+        task = make_slowloris_task(conn_threshold=20,
+                                   avg_size_cap=300,
+                                   interval_s=0.02)
+        farm.submit(task)
+        farm.settle()
+        leaf = leaf_of(farm)
+        switch = farm.fleet.get(leaf)
+        server = parse_ip("10.80.0.1")
+        for index in range(40):
+            key = FlowKey(parse_ip("172.25.0.0") + index + 1, server,
+                          52000 + index, 80, PROTO_TCP)
+            switch.asic.attach_flow(
+                Flow(key, rate_bps=1e6, start_time=farm.sim.now,
+                     packet_size=1400), 0, 1)
+        farm.run(until=farm.sim.now + 1.0)
+        assert "10.80.0.1" not in task.harvester.suspects
+
+
+class TestFlowSizeDistribution:
+    def test_histogram_reported_periodically(self, farm):
+        task = make_flow_size_dist_task(interval_s=0.02,
+                                        report_every_s=0.25)
+        farm.submit(task)
+        farm.settle()
+        leaf = leaf_of(farm)
+        farm.start_workload(UniformWorkload(num_ports=10, rate_bps=5e4),
+                            leaf)
+        farm.start_workload(DDoSWorkload(num_sources=5,
+                                         per_source_rate_bps=5e6), leaf)
+        farm.run(until=farm.sim.now + 1.1)
+        series = task.harvester.series
+        assert len(series) >= 3
+        # histograms are non-empty count vectors
+        for _time, histogram in series:
+            assert isinstance(histogram, list)
+            assert sum(histogram) > 0
+
+
+class TestNewTcpConnections:
+    def test_counts_only_fresh_connections(self, farm):
+        task = make_new_tcp_conn_task(interval_s=0.02)
+        farm.submit(task)
+        farm.settle()
+        leaf = leaf_of(farm)
+        flood = SynFloodWorkload(syn_rate_pps=5000, num_sources=30)
+        farm.start_workload(flood, leaf)
+        farm.run(until=farm.sim.now + 1.0)
+        total_before = task.harvester.total
+        assert total_before >= 30  # every source seen at least once
+        # steady state: the same flows are not "new" again
+        farm.run(until=farm.sim.now + 1.0)
+        assert task.harvester.total == total_before
+
+
+class TestEntropyAnomaly:
+    def test_concentration_drop_triggers_anomaly(self, farm):
+        task = make_entropy_task(low_water=2.0, interval_s=0.02,
+                                 window_s=0.2)
+        farm.submit(task)
+        farm.settle()
+        leaf = leaf_of(farm)
+        # Diverse sources first: high entropy, no anomaly.
+        diverse = UniformWorkload(num_ports=32, rate_bps=1e5)
+        farm.start_workload(diverse, leaf)
+        farm.run(until=farm.sim.now + 1.0)
+        harvester = task.harvester
+        assert harvester.entropies
+        assert max(harvester.entropies) > 2.0
+        assert harvester.anomalies == 0
+        # One source drowns everyone out: entropy collapses.
+        key = FlowKey(parse_ip("172.16.9.9"), parse_ip("10.200.0.9"),
+                      1, 80, PROTO_TCP)
+        hog = Flow(key, rate_bps=1e9, start_time=farm.sim.now)
+        farm.fleet.get(leaf).asic.attach_flow(hog, 0, 2)
+        farm.run(until=farm.sim.now + 1.0)
+        assert harvester.anomalies >= 1
+        assert min(harvester.entropies) < 2.0
+
+
+class TestPartialTcpFlows:
+    def test_syn_only_sources_reported(self, farm):
+        task = make_partial_tcp_task(partial_threshold=10,
+                                     window_s=0.3, interval_s=0.02)
+        farm.submit(task)
+        farm.settle()
+        leaf = leaf_of(farm)
+        scan = PortScanWorkload(num_ports_scanned=40,
+                                scanner_ip="172.31.0.9",
+                                probe_rate_pps=2000)
+        farm.start_workload(scan, leaf)
+        farm.run(until=farm.sim.now + 1.0)
+        assert "172.31.0.9" in task.harvester.suspects
+
+
+class TestStandaloneHhh:
+    def test_prefix_level_aggregation(self, farm):
+        task = make_hierarchical_hh_task(threshold=50_000,
+                                         accuracy_ms=20, inherited=False)
+        farm.submit(task)
+        farm.settle()
+        leaf = leaf_of(farm)
+        switch = farm.fleet.get(leaf)
+        # Three hosts in one /24, each below threshold per window; the
+        # prefix aggregate crosses it — only the hierarchy sees this.
+        for index in range(3):
+            key = FlowKey(parse_ip("10.7.7.0") + index + 1,
+                          parse_ip("10.200.0.1"), 40000 + index, 80,
+                          PROTO_TCP)
+            switch.asic.attach_flow(
+                Flow(key, rate_bps=2e6, start_time=farm.sim.now,
+                     packet_size=1400), 0, 1)
+        farm.run(until=farm.sim.now + 1.0)
+        assert "10.7.7.0" in task.harvester.hierarchy_hits

@@ -1,0 +1,108 @@
+"""Trace-workload tests: statistical shape + end-to-end FARM run."""
+
+import pytest
+
+from repro.errors import FarmError
+from repro.net.trace import TraceProfile, TraceWorkload
+from repro.sim.engine import Simulator
+
+
+class RecordingSink:
+    def __init__(self):
+        self.attached = 0
+        self.detached = 0
+
+    def attach_flow(self, flow, in_port, out_port):
+        self.attached += 1
+
+    def detach_flow(self, flow):
+        self.detached += 1
+
+
+def run_trace(profile=None, horizon=10.0, seed=1, until=None):
+    sim = Simulator()
+    sink = RecordingSink()
+    workload = TraceWorkload(profile=profile, horizon_s=horizon, seed=seed)
+    workload.start(sim, sink)
+    sim.run(until=until if until is not None else horizon)
+    return sim, sink, workload
+
+
+class TestProfileValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(FarmError):
+            TraceProfile(mean_arrivals_per_s=0)
+        with pytest.raises(FarmError):
+            TraceProfile(zipf_exponent=1.0)
+        with pytest.raises(FarmError):
+            TraceProfile(min_flow_bytes=10, max_flow_bytes=5)
+        with pytest.raises(FarmError):
+            TraceProfile(min_duration_s=5, max_duration_s=1)
+
+
+class TestStatisticalShape:
+    def test_arrival_rate_roughly_poisson_mean(self):
+        profile = TraceProfile(mean_arrivals_per_s=100.0)
+        _sim, sink, workload = run_trace(profile, horizon=10.0)
+        # ~1000 arrivals expected; allow 4 sigma
+        assert 800 < sink.attached < 1200
+
+    def test_flows_expire_and_detach(self):
+        profile = TraceProfile(mean_arrivals_per_s=50.0, max_duration_s=1.0,
+                               min_duration_s=0.1)
+        sim, sink, workload = run_trace(profile, horizon=5.0, until=10.0)
+        assert sink.detached == sink.attached  # horizon passed, all gone
+        assert workload.completed == sink.detached
+        assert not workload.active
+
+    def test_sizes_are_heavy_tailed(self):
+        profile = TraceProfile(mean_arrivals_per_s=300.0,
+                               zipf_exponent=1.2)
+        _sim, _sink, workload = run_trace(profile, horizon=5.0, until=5.0)
+        share = workload.heavy_tail_share(top_fraction=0.1)
+        # top 10% of flows must carry far more than 10% of load
+        assert share > 0.5
+
+    def test_size_bounds_respected(self):
+        profile = TraceProfile(min_flow_bytes=1e4, max_flow_bytes=1e6,
+                               min_duration_s=1.0, max_duration_s=2.0)
+        _sim, _sink, workload = run_trace(profile, horizon=3.0)
+        for flow in workload.flows:
+            size = flow.rate_bps and flow.rate_at(0)  # placeholder
+        # offered sizes tracked explicitly
+        assert workload.bytes_offered >= 1e4 * len(workload.flows)
+
+    def test_determinism(self):
+        a = run_trace(horizon=3.0, seed=4)[2]
+        b = run_trace(horizon=3.0, seed=4)[2]
+        assert [f.key for f in a.flows] == [f.key for f in b.flows]
+
+    def test_elephants_ground_truth(self):
+        profile = TraceProfile(mean_arrivals_per_s=200.0)
+        sim, _sink, workload = run_trace(profile, horizon=5.0, until=4.0)
+        elephants = workload.elephants_active(threshold_bps=1e6)
+        for flow in elephants:
+            assert flow.rate_at(sim.now) >= 1e6
+        assert workload.offered_load_bps() >= sum(
+            f.rate_at(sim.now) for f in elephants)
+
+
+class TestFarmOnTrace:
+    def test_hh_task_detects_trace_elephants(self):
+        from repro.core.deployment import FarmDeployment
+        from repro.net.topology import spine_leaf
+        from repro.tasks import make_heavy_hitter_task
+
+        farm = FarmDeployment(topology=spine_leaf(1, 1, 0))
+        task = make_heavy_hitter_task(threshold=2e6, accuracy_ms=10)
+        farm.submit(task)
+        farm.settle()
+        leaf = farm.topology.leaf_ids[0]
+        profile = TraceProfile(mean_arrivals_per_s=150.0,
+                               max_flow_bytes=5e9,
+                               num_ports=40)
+        workload = TraceWorkload(profile=profile, horizon_s=3.0, seed=9)
+        farm.start_workload(workload, leaf)
+        farm.run(until=farm.sim.now + 3.0)
+        # Churn guarantees some port crossed the threshold at least once.
+        assert task.harvester.detections

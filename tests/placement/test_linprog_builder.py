@@ -1,0 +1,109 @@
+"""Direct tests for the LP/MILP builder over HiGHS."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.linprog_builder import INF, LinProgram
+
+
+class TestConstruction:
+    def test_duplicate_variable_rejected(self):
+        lp = LinProgram()
+        lp.add_var("x")
+        with pytest.raises(PlacementError):
+            lp.add_var("x")
+
+    def test_name_index_lookup(self):
+        lp = LinProgram()
+        x = lp.add_var("x")
+        assert lp.name_index["x"] == x
+        assert lp.num_vars == 1
+        lp.add_constraint({x: 1.0}, ub=5.0)
+        assert lp.num_constraints == 1
+
+
+class TestLpSolving:
+    def test_simple_maximization(self):
+        # max x + 2y s.t. x + y <= 4, x <= 3, y <= 2
+        lp = LinProgram(maximize=True)
+        x = lp.add_var("x", ub=3.0)
+        y = lp.add_var("y", ub=2.0)
+        lp.add_objective_term(x, 1.0)
+        lp.add_objective_term(y, 2.0)
+        lp.add_constraint({x: 1.0, y: 1.0}, ub=4.0)
+        result = lp.solve_lp()
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(6.0)
+        assert result.value(x) == pytest.approx(2.0)
+        assert result.value(y) == pytest.approx(2.0)
+
+    def test_minimization(self):
+        lp = LinProgram(maximize=False)
+        x = lp.add_var("x", lb=1.0)
+        lp.add_objective_term(x, 3.0)
+        result = lp.solve_lp()
+        assert result.objective == pytest.approx(3.0)
+
+    def test_equality_constraint(self):
+        lp = LinProgram(maximize=True)
+        x = lp.add_var("x", ub=10.0)
+        y = lp.add_var("y", ub=10.0)
+        lp.add_objective_term(x, 1.0)
+        lp.add_constraint({x: 1.0, y: 1.0}, lb=5.0, ub=5.0)
+        result = lp.solve_lp()
+        assert result.value(x) + result.value(y) == pytest.approx(5.0)
+
+    def test_infeasible_reported(self):
+        lp = LinProgram()
+        x = lp.add_var("x", ub=1.0)
+        lp.add_constraint({x: 1.0}, lb=5.0)
+        result = lp.solve_lp()
+        assert result.status == "infeasible"
+        assert not result.usable
+        with pytest.raises(PlacementError):
+            result.value(x)
+
+    def test_empty_program(self):
+        result = LinProgram().solve_lp()
+        assert result.status == "optimal"
+        assert result.objective == 0.0
+
+
+class TestMilpSolving:
+    def test_knapsack(self):
+        # values 6, 5, 4; weights 3, 2, 2; capacity 4 -> pick items 2+3.
+        lp = LinProgram(maximize=True)
+        items = [lp.add_binary(f"i{k}") for k in range(3)]
+        for index, value in zip(items, (6.0, 5.0, 4.0)):
+            lp.add_objective_term(index, value)
+        lp.add_constraint({items[0]: 3.0, items[1]: 2.0, items[2]: 2.0},
+                          ub=4.0)
+        result = lp.solve_milp()
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(9.0)
+        assert [round(result.value(i)) for i in items] == [0, 1, 1]
+
+    def test_integrality_respected(self):
+        lp = LinProgram(maximize=True)
+        x = lp.add_var("x", ub=2.5, integer=True)
+        lp.add_objective_term(x, 1.0)
+        result = lp.solve_milp()
+        assert result.value(x) == pytest.approx(2.0)
+
+    def test_mixed_integer_and_continuous(self):
+        lp = LinProgram(maximize=True)
+        plc = lp.add_binary("plc")
+        res = lp.add_var("res", ub=4.0)
+        lp.add_objective_term(res, 1.0)
+        # res <= 4 * plc; plc costs 3 in the shared budget of 1 -> plc=0?
+        lp.add_constraint({res: 1.0, plc: -4.0}, ub=0.0)
+        result = lp.solve_milp()
+        assert result.objective == pytest.approx(4.0)
+        assert result.value(plc) == pytest.approx(1.0)
+
+    def test_time_limit_accepted(self):
+        lp = LinProgram(maximize=True)
+        x = lp.add_binary("x")
+        lp.add_objective_term(x, 1.0)
+        result = lp.solve_milp(time_limit_s=0.5)
+        assert result.usable

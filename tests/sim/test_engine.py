@@ -1,0 +1,213 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    MILLIS,
+    PeriodicTimer,
+    Simulator,
+    exponential_backoff,
+    iter_times,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fires_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for name in "abcde":
+            sim.schedule(1.0, order.append, name)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "low", priority=5)
+        sim.schedule(1.0, order.append, "high", priority=-5)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_and_inf_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, order.append, "second")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert not event.alive
+
+    def test_pending_counts_live_events_only(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+        assert keep.alive
+
+
+class TestRunUntil:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(5.0, fired.append, "late")
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_until_advances_time_even_with_no_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        count = []
+
+        def recur():
+            count.append(1)
+            sim.schedule(1.0, recur)
+
+        sim.schedule(1.0, recur)
+        sim.run(max_events=10)
+        assert len(count) == 10
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, nested)
+        sim.run()
+
+
+class TestPeriodicTimer:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.every(0.5, lambda: times.append(sim.now))
+        sim.run(until=2.0)
+        assert times == [0.5, 1.0, 1.5, 2.0]
+
+    def test_start_after_overrides_first_firing(self):
+        sim = Simulator()
+        times = []
+        sim.every(1.0, lambda: times.append(sim.now), start_after=0.1)
+        sim.run(until=2.5)
+        assert times == pytest.approx([0.1, 1.1, 2.1])
+
+    def test_stop_halts_firings(self):
+        sim = Simulator()
+        times = []
+        timer = sim.every(1.0, lambda: times.append(sim.now))
+        sim.run(until=2.5)
+        timer.stop()
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert not timer.running
+
+    def test_reschedule_changes_period(self):
+        sim = Simulator()
+        times = []
+        timer = sim.every(1.0, lambda: times.append(sim.now))
+        sim.run(until=2.0)  # fires at 1.0, 2.0
+        timer.reschedule(0.25)
+        sim.run(until=3.0)
+        assert times[:2] == [1.0, 2.0]
+        assert times[2:] == pytest.approx([2.25, 2.5, 2.75, 3.0])
+
+    def test_callback_may_stop_timer(self):
+        sim = Simulator()
+        timer_box = {}
+
+        def cb():
+            timer_box["t"].stop()
+
+        timer_box["t"] = sim.every(1.0, cb)
+        sim.run(until=10.0)
+        assert timer_box["t"].fire_count == 1
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_milliseconds_constant(self):
+        assert MILLIS == pytest.approx(1e-3)
+
+
+class TestHelpers:
+    def test_exponential_backoff_caps(self):
+        assert exponential_backoff(1.0, 0, 10.0) == 1.0
+        assert exponential_backoff(1.0, 3, 10.0) == 8.0
+        assert exponential_backoff(1.0, 10, 10.0) == 10.0
+
+    def test_iter_times_inclusive(self):
+        assert list(iter_times(0.0, 0.5, 1.5)) == [0.0, 0.5, 1.0, 1.5]
+
+    def test_iter_times_rejects_bad_interval(self):
+        with pytest.raises(SimulationError):
+            list(iter_times(0.0, 0.0, 1.0))

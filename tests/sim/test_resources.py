@@ -1,0 +1,116 @@
+"""Tests for capacity meters and token pools."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import CapacityMeter, TokenPool
+
+
+class TestCapacityMeter:
+    def test_demand_tracks_adds_and_removes(self):
+        sim = Simulator()
+        meter = CapacityMeter(sim, 100.0)
+        meter.add_demand(30.0)
+        meter.add_demand(20.0)
+        assert meter.demand == 50.0
+        meter.remove_demand(30.0)
+        assert meter.demand == 20.0
+
+    def test_saturation_and_oversubscription(self):
+        sim = Simulator()
+        meter = CapacityMeter(sim, 100.0)
+        meter.add_demand(150.0)
+        assert meter.saturated
+        assert meter.oversubscription == pytest.approx(1.5)
+        assert meter.effective_throughput == 100.0
+        assert meter.utilization == 1.0
+
+    def test_mean_utilization_time_weighted(self):
+        sim = Simulator()
+        meter = CapacityMeter(sim, 100.0)
+        meter.add_demand(50.0)
+        sim.run(until=10.0)
+        # 50% for the full horizon
+        assert meter.mean_utilization() == pytest.approx(0.5)
+
+    def test_mean_utilization_with_step_change(self):
+        sim = Simulator()
+        meter = CapacityMeter(sim, 100.0)
+        meter.add_demand(100.0)
+        sim.schedule(5.0, meter.remove_demand, 100.0)
+        sim.run(until=10.0)
+        assert meter.mean_utilization() == pytest.approx(0.5)
+
+    def test_mean_demand_includes_oversubscription(self):
+        sim = Simulator()
+        meter = CapacityMeter(sim, 100.0)
+        meter.add_demand(200.0)
+        sim.run(until=10.0)
+        assert meter.mean_demand() == pytest.approx(200.0)
+        assert meter.mean_utilization() == pytest.approx(1.0)
+
+    def test_negative_demand_rejected(self):
+        sim = Simulator()
+        meter = CapacityMeter(sim, 10.0)
+        with pytest.raises(SimulationError):
+            meter.add_demand(-1.0)
+        meter.add_demand(5.0)
+        with pytest.raises(SimulationError):
+            meter.remove_demand(6.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            CapacityMeter(Simulator(), 0.0)
+
+    def test_history_records_changes(self):
+        sim = Simulator()
+        meter = CapacityMeter(sim, 10.0)
+        meter.add_demand(1.0)
+        meter.add_demand(2.0)
+        history = meter.history()
+        assert [s.used for s in history] == [1.0, 3.0]
+        assert history[-1].fraction == pytest.approx(0.3)
+
+
+class TestTokenPool:
+    def test_acquire_release_cycle(self):
+        pool = TokenPool(10)
+        pool.acquire(4)
+        assert pool.used == 4
+        assert pool.available == 6
+        pool.release(2)
+        assert pool.used == 2
+
+    def test_try_acquire_refuses_past_capacity(self):
+        pool = TokenPool(3)
+        assert pool.try_acquire(3)
+        assert not pool.try_acquire(1)
+        assert pool.used == 3
+
+    def test_acquire_raises_on_exhaustion(self):
+        pool = TokenPool(1)
+        pool.acquire()
+        with pytest.raises(SimulationError):
+            pool.acquire()
+
+    def test_release_more_than_used_rejected(self):
+        pool = TokenPool(5)
+        pool.acquire(2)
+        with pytest.raises(SimulationError):
+            pool.release(3)
+
+    def test_peak_tracking(self):
+        pool = TokenPool(10)
+        pool.acquire(7)
+        pool.release(5)
+        pool.acquire(1)
+        assert pool.peak == 7
+
+    def test_resize_guards_usage(self):
+        pool = TokenPool(10)
+        pool.acquire(6)
+        with pytest.raises(SimulationError):
+            pool.resize(5)
+        pool.resize(6)
+        assert pool.available == 0

@@ -1,0 +1,179 @@
+"""ASIC model tests: counters, rule effects, sampling."""
+
+import pytest
+
+from repro.errors import SwitchError
+from repro.net import filters as flt
+from repro.net.addresses import parse_ip
+from repro.net.packet import PROTO_TCP, Flow, FlowKey
+from repro.sim.engine import Simulator
+from repro.switchsim.asic import Asic
+from repro.switchsim.tcam import MONITORING, RuleAction, TcamRule
+
+
+def make_flow(rate=1000.0, sport=1000, dport=80, src="10.0.0.1",
+              start=0.0):
+    key = FlowKey(parse_ip(src), parse_ip("10.1.0.1"), sport, dport,
+                  PROTO_TCP)
+    return Flow(key, rate_bps=rate, start_time=start)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def asic(sim):
+    return Asic(sim, num_ports=8)
+
+
+class TestAttachment:
+    def test_port_counters_integrate_rates(self, sim, asic):
+        asic.attach_flow(make_flow(rate=100.0), in_port=0, out_port=1)
+        sim.run(until=10.0)
+        stats = asic.read_port_stats(1)
+        assert stats.tx_bytes == pytest.approx(1000.0)
+        assert stats.rate_bps == pytest.approx(100.0)
+        # ingress port carries no egress counters
+        assert asic.read_port_stats(0).tx_bytes == 0.0
+
+    def test_detach_freezes_counters(self, sim, asic):
+        flow = make_flow(rate=100.0)
+        asic.attach_flow(flow, 0, 1)
+        sim.run(until=5.0)
+        asic.detach_flow(flow)
+        sim.run(until=20.0)
+        assert asic.read_port_stats(1).tx_bytes == pytest.approx(500.0)
+        assert asic.read_port_stats(1).rate_bps == 0.0
+
+    def test_double_attach_rejected(self, asic):
+        flow = make_flow()
+        asic.attach_flow(flow, 0, 1)
+        with pytest.raises(SwitchError):
+            asic.attach_flow(flow, 2, 3)
+
+    def test_detach_unknown_rejected(self, asic):
+        with pytest.raises(SwitchError):
+            asic.detach_flow(make_flow())
+
+    def test_port_range_validated(self, asic):
+        with pytest.raises(SwitchError):
+            asic.attach_flow(make_flow(), 0, 99)
+        with pytest.raises(SwitchError):
+            asic.read_port_stats(-1)
+
+    def test_ports_with_traffic(self, sim, asic):
+        asic.attach_flow(make_flow(rate=10.0), 0, 3)
+        asic.attach_flow(make_flow(rate=10.0, sport=2000), 0, 5)
+        assert asic.ports_with_traffic() == [3, 5]
+
+
+class TestRuleEffects:
+    def test_drop_zeroes_effective_rate(self, sim, asic):
+        asic.attach_flow(make_flow(rate=100.0, dport=80), 0, 1)
+        asic.tcam.install(TcamRule(flt.DstPortFilter(80), RuleAction.DROP,
+                                   region=MONITORING), now=0.0)
+        assert asic.read_port_stats(1).rate_bps == 0.0
+
+    def test_rate_limit_caps_rate(self, sim, asic):
+        asic.attach_flow(make_flow(rate=100.0), 0, 1)
+        asic.tcam.install(TcamRule(
+            flt.DstPortFilter(80), RuleAction.RATE_LIMIT,
+            params={"rate_bps": 30.0}, region=MONITORING))
+        assert asic.read_port_stats(1).rate_bps == pytest.approx(30.0)
+
+    def test_count_rule_does_not_change_rate(self, sim, asic):
+        asic.attach_flow(make_flow(rate=100.0), 0, 1)
+        asic.tcam.install(TcamRule(flt.DstPortFilter(80), RuleAction.COUNT,
+                                   region=MONITORING))
+        assert asic.read_port_stats(1).rate_bps == pytest.approx(100.0)
+
+    def test_port_scoped_rule_only_hits_its_port(self, sim, asic):
+        asic.attach_flow(make_flow(rate=100.0), 0, 1)
+        asic.attach_flow(make_flow(rate=100.0, sport=2000), 0, 2)
+        asic.tcam.install(TcamRule(
+            flt.SwitchPortFilter(2), RuleAction.DROP, region=MONITORING))
+        assert asic.read_port_stats(1).rate_bps == pytest.approx(100.0)
+        assert asic.read_port_stats(2).rate_bps == 0.0
+
+    def test_rule_counters_count_matching_bytes(self, sim, asic):
+        asic.attach_flow(make_flow(rate=100.0, dport=80), 0, 1)
+        asic.attach_flow(make_flow(rate=50.0, dport=443, sport=2000), 0, 1)
+        rule_id = asic.tcam.install(
+            TcamRule(flt.DstPortFilter(80), RuleAction.COUNT,
+                     region=MONITORING), now=0.0)
+        sim.run(until=10.0)
+        stats = asic.read_rule_stats(rule_id)
+        assert stats.matched_bytes == pytest.approx(1000.0)
+
+    def test_rule_counters_start_at_install_time(self, sim, asic):
+        asic.attach_flow(make_flow(rate=100.0), 0, 1)
+        sim.run(until=5.0)
+        rule_id = asic.tcam.install(
+            TcamRule(flt.DstPortFilter(80), RuleAction.COUNT,
+                     region=MONITORING), now=sim.now)
+        sim.run(until=10.0)
+        assert asic.read_rule_stats(rule_id).matched_bytes \
+            == pytest.approx(500.0)
+
+    def test_only_highest_priority_rule_counts(self, sim, asic):
+        asic.attach_flow(make_flow(rate=100.0), 0, 1)
+        low = asic.tcam.install(TcamRule(
+            flt.DstPortFilter(80), RuleAction.COUNT, priority=1,
+            region=MONITORING), now=0.0)
+        high = asic.tcam.install(TcamRule(
+            flt.DstPortFilter(80), RuleAction.COUNT, priority=5,
+            region=MONITORING), now=0.0)
+        sim.run(until=10.0)
+        assert asic.read_rule_stats(high).matched_bytes > 0
+        assert asic.read_rule_stats(low).matched_bytes == 0.0
+
+
+class TestSampling:
+    def test_samples_ranked_by_rate(self, sim, asic):
+        asic.attach_flow(make_flow(rate=10.0, sport=1000), 0, 1)
+        asic.attach_flow(make_flow(rate=1000.0, sport=2000), 0, 1)
+        samples = asic.sample_packets(flt.TrueFilter(), max_packets=1)
+        assert samples[0].src_port == 2000
+
+    def test_samples_respect_filter(self, sim, asic):
+        asic.attach_flow(make_flow(rate=10.0, dport=80), 0, 1)
+        asic.attach_flow(make_flow(rate=10.0, dport=22, sport=2000), 0, 1)
+        samples = asic.sample_packets(flt.DstPortFilter(22))
+        # the single matching flow soaks up the whole sample budget
+        assert samples
+        assert all(p.dst_port == 22 for p in samples)
+
+    def test_budget_apportioned_by_rate(self, sim, asic):
+        asic.attach_flow(make_flow(rate=900.0, sport=1000), 0, 1)
+        asic.attach_flow(make_flow(rate=100.0, sport=2000), 0, 1)
+        samples = asic.sample_packets(flt.TrueFilter(), max_packets=10)
+        by_port = {}
+        for packet in samples:
+            by_port[packet.src_port] = by_port.get(packet.src_port, 0) + 1
+        assert by_port == {1000: 9, 2000: 1}
+
+    def test_more_flows_than_budget_one_each_heaviest_first(self, sim, asic):
+        for index in range(6):
+            asic.attach_flow(
+                make_flow(rate=100.0 * (index + 1), sport=3000 + index),
+                0, 1)
+        samples = asic.sample_packets(flt.TrueFilter(), max_packets=4)
+        assert len(samples) == 4
+        # the four heaviest flows, one sample each
+        assert sorted(p.src_port for p in samples) == [3002, 3003, 3004,
+                                                       3005]
+
+    def test_dropped_flows_not_sampled(self, sim, asic):
+        asic.attach_flow(make_flow(rate=10.0, dport=80), 0, 1)
+        asic.tcam.install(TcamRule(flt.DstPortFilter(80), RuleAction.DROP,
+                                   region=MONITORING))
+        assert asic.sample_packets(flt.TrueFilter()) == []
+
+    def test_fabric_demand_refresh(self, sim, asic):
+        flow = make_flow(rate=100.0)
+        asic.attach_flow(flow, 0, 1)
+        flow.set_rate(500.0, at_time=0.0)
+        asic.refresh_fabric_demand()
+        assert asic.fabric.demand == pytest.approx(500.0)

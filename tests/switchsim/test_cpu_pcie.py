@@ -1,0 +1,145 @@
+"""Management CPU and PCIe bus model tests."""
+
+import pytest
+
+from repro.errors import SwitchError
+from repro.sim.engine import Simulator
+from repro.switchsim.cpu import (
+    CONTEXT_SWITCH_COST_S,
+    ManagementCpu,
+    estimate_invocation_load,
+)
+from repro.switchsim.pcie import (
+    BYTES_PER_COUNTER,
+    PcieBus,
+    TRANSACTION_OVERHEAD_S,
+)
+
+
+class TestManagementCpu:
+    def test_standing_load_accumulates(self):
+        sim = Simulator()
+        cpu = ManagementCpu(sim, num_cores=4)
+        cpu.set_standing_load("a", 0.5)
+        cpu.set_standing_load("b", 0.3)
+        assert cpu.load_percent == pytest.approx(80.0)
+        cpu.clear_standing_load("a")
+        assert cpu.load_percent == pytest.approx(30.0)
+
+    def test_standing_load_replaced_by_key(self):
+        sim = Simulator()
+        cpu = ManagementCpu(sim, num_cores=4)
+        cpu.set_standing_load("seed", 0.5)
+        cpu.set_standing_load("seed", 0.1)
+        assert cpu.load_percent == pytest.approx(10.0)
+
+    def test_mean_load_time_weighted(self):
+        sim = Simulator()
+        cpu = ManagementCpu(sim, num_cores=4)
+        cpu.set_standing_load("x", 1.0)
+        sim.schedule(5.0, cpu.clear_standing_load, "x")
+        sim.run(until=10.0)
+        assert cpu.mean_load_percent() == pytest.approx(50.0)
+
+    def test_one_off_work_included_in_mean(self):
+        sim = Simulator()
+        cpu = ManagementCpu(sim, num_cores=4)
+        sim.run(until=1.0)
+        cpu.charge_work(0.5)  # half a core-second over a 1s horizon
+        assert cpu.mean_load_percent() == pytest.approx(50.0)
+
+    def test_context_switches_charged(self):
+        sim = Simulator()
+        cpu = ManagementCpu(sim, num_cores=1)
+        sim.run(until=1.0)
+        cpu.charge_work(0.0, context_switches=10)
+        expected = 10 * CONTEXT_SWITCH_COST_S * 100
+        assert cpu.mean_load_percent() == pytest.approx(expected)
+
+    def test_contention_slows_completion(self):
+        sim = Simulator()
+        cpu = ManagementCpu(sim, num_cores=2)
+        cpu.set_standing_load("busy", 4.0)  # 2x oversubscribed
+        assert cpu.charge_work(1.0) == pytest.approx(2.0)
+
+    def test_overloaded_flag(self):
+        sim = Simulator()
+        cpu = ManagementCpu(sim, num_cores=2)
+        cpu.set_standing_load("a", 2.5)
+        assert cpu.overloaded
+
+    def test_invalid_inputs(self):
+        sim = Simulator()
+        with pytest.raises(SwitchError):
+            ManagementCpu(sim, num_cores=0)
+        cpu = ManagementCpu(sim)
+        with pytest.raises(SwitchError):
+            cpu.set_standing_load("x", -1.0)
+        with pytest.raises(SwitchError):
+            cpu.charge_work(-0.1)
+
+    def test_estimate_invocation_load(self):
+        base = estimate_invocation_load(100.0, 1e-4)
+        assert base == pytest.approx(0.01)
+        with_process = estimate_invocation_load(100.0, 1e-4, as_process=True)
+        assert with_process > base
+
+
+class TestPcieBus:
+    def test_standing_demand_registration(self):
+        sim = Simulator()
+        bus = PcieBus(sim, poll_capacity_bps=1e6)
+        bus.register_poller("a", 4e5)
+        bus.register_poller("b", 4e5)
+        assert bus.standing_demand_bps == pytest.approx(8e5)
+        assert not bus.saturated
+        bus.register_poller("c", 4e5)
+        assert bus.saturated
+        assert bus.oversubscription == pytest.approx(1.2)
+
+    def test_reregistration_replaces(self):
+        sim = Simulator()
+        bus = PcieBus(sim)
+        bus.register_poller("a", 100.0)
+        bus.register_poller("a", 50.0)
+        assert bus.standing_demand_bps == pytest.approx(50.0)
+        bus.unregister_poller("a")
+        assert bus.standing_demand_bps == 0.0
+
+    def test_transfer_latency_grows_with_load(self):
+        sim = Simulator()
+        bus = PcieBus(sim, poll_capacity_bps=1e6)
+        idle = bus.transfer_latency(1000)
+        bus.register_poller("hog", 9e5)
+        busy = bus.transfer_latency(1000)
+        assert busy > idle > TRANSACTION_OVERHEAD_S
+
+    def test_latency_capped_under_saturation(self):
+        sim = Simulator()
+        bus = PcieBus(sim, poll_capacity_bps=1e6)
+        bus.register_poller("hog", 1e9)
+        assert bus.transfer_latency(1000) < 1.0  # capped, not infinite
+
+    def test_poll_counters_accounts_bytes(self):
+        sim = Simulator()
+        bus = PcieBus(sim)
+        bus.poll_counters(10)
+        assert bus.total_bytes == 10 * BYTES_PER_COUNTER
+        assert len(bus.transfers()) == 1
+        assert bus.transfers()[0].kind == "poll"
+
+    def test_mean_transfer_latency(self):
+        sim = Simulator()
+        bus = PcieBus(sim)
+        assert bus.mean_transfer_latency() == 0.0
+        bus.transfer(100)
+        bus.transfer(100)
+        assert bus.mean_transfer_latency() > 0.0
+
+    def test_invalid_inputs(self):
+        sim = Simulator()
+        bus = PcieBus(sim)
+        with pytest.raises(SwitchError):
+            bus.register_poller("x", -1.0)
+        with pytest.raises(SwitchError):
+            bus.transfer_latency(-5)

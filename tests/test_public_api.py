@@ -1,0 +1,51 @@
+"""Public-API integrity: every ``__all__`` name resolves and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.net",
+    "repro.switchsim",
+    "repro.almanac",
+    "repro.core",
+    "repro.placement",
+    "repro.baselines",
+    "repro.tasks",
+    "repro.sketches",
+    "repro.eval",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version_present():
+    import repro
+    assert repro.__version__ == "1.0.0"
+
+
+def test_every_public_module_has_docstring():
+    import pkgutil
+    import repro
+    missing = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        if not (module.__doc__ or "").strip():
+            missing.append(info.name)
+    assert missing == []
