@@ -19,7 +19,7 @@ constant initializers) are bound before analysis via :class:`ConstEnv`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.almanac import astnodes as ast
 from repro.almanac.poly import (

@@ -9,7 +9,7 @@ carries the source ``line`` for error reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 # ---------------------------------------------------------------------------
 # Expressions

@@ -12,8 +12,8 @@ A blueprint carries everything the placement optimizer and the soils need:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.almanac import astnodes as ast
 from repro.almanac.analysis import (

@@ -21,7 +21,7 @@ pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.almanac import astnodes as ast
 from repro.almanac.interpreter import flatten_machine

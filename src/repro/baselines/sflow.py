@@ -18,10 +18,10 @@ Cost structure (what Figs. 4/5 and Tab. 4 measure):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.comm import ControlBus, estimate_size_bytes
+from repro.core.comm import ControlBus
 from repro.sim.engine import Simulator
 from repro.switchsim.chassis import Switch
 from repro.switchsim.cpu import estimate_invocation_load

@@ -16,7 +16,7 @@ responsiveness remains Sonata-class because processing stays centralized.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.comm import ControlBus
 from repro.sim.engine import Simulator

@@ -1,11 +1,13 @@
 """FARM core runtime: seeds, soil, harvester, seeder, communication."""
 
+from repro.core.chaos import FaultInjector, FaultRule, Partition
 from repro.core.fault_tolerance import (
     FaultToleranceManager,
     fail_switch,
     recover_switch,
 )
 from repro.core.deployment import FarmDeployment
+from repro.core.reliable import ReliableEndpoint, RetryPolicy
 from repro.core.comm import (
     CommScheme,
     ControlBus,
@@ -37,4 +39,6 @@ __all__ = [
     "MachineConfig", "TaskDefinition",
     "FaultToleranceManager", "fail_switch", "recover_switch",
     "FarmDeployment",
+    "FaultInjector", "FaultRule", "Partition",
+    "ReliableEndpoint", "RetryPolicy",
 ]

@@ -17,13 +17,12 @@ Three communication paths exist in FARM:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CommError
 from repro.sim.engine import Simulator
-from repro.switchsim.cpu import CONTEXT_SWITCH_COST_S
 
 
 class ExecutionMode(Enum):
@@ -104,6 +103,13 @@ class BusMessage:
     size_bytes: int
     sent_at: float
     delivered_at: float
+    #: True when the bus (or an attached fault injector) discarded the
+    #: message instead of scheduling delivery.
+    dropped: bool = False
+
+
+#: Unknown-destination policies for :meth:`ControlBus.send`.
+UNKNOWN_DST_POLICIES = ("raise", "drop")
 
 
 class ControlBus:
@@ -121,15 +127,30 @@ class ControlBus:
     HISTORY_LIMIT = 100_000
 
     def __init__(self, sim: Simulator,
-                 base_latency_s: float = BUS_BASE_LATENCY_S) -> None:
+                 base_latency_s: float = BUS_BASE_LATENCY_S,
+                 unknown_dst: str = "raise") -> None:
         from collections import deque
+        if unknown_dst not in UNKNOWN_DST_POLICIES:
+            raise CommError(f"unknown-destination policy must be one of "
+                            f"{UNKNOWN_DST_POLICIES}, got {unknown_dst!r}")
         self.sim = sim
         self.base_latency_s = base_latency_s
+        #: What :meth:`send` does when the destination is not registered:
+        #: ``"raise"`` (strict, the historic behavior) or ``"drop"`` (count
+        #: the message as undeliverable and move on — required for retry
+        #: loops that race an endpoint's re-registration).
+        self.unknown_dst_policy = unknown_dst
         self._handlers: Dict[str, Callable[[BusMessage], None]] = {}
         self._ids = itertools.count(1)
         self.delivered: "deque[BusMessage]" = deque(maxlen=self.HISTORY_LIMIT)
         self.total_bytes = 0
         self.total_messages = 0
+        #: Messages discarded because no handler was registered for their
+        #: destination (at send or at delivery time).
+        self.undeliverable_messages = 0
+        #: Optional :class:`repro.core.chaos.FaultInjector`; when set,
+        #: every send consults it for loss/duplication/delay/partitions.
+        self.fault_injector: Optional[Any] = None
 
     def register(self, endpoint: str,
                  handler: Callable[[BusMessage], None]) -> None:
@@ -145,24 +166,49 @@ class ControlBus:
 
     def send(self, src: str, dst: str, payload: Any,
              size_bytes: int = 256,
-             extra_latency_s: float = 0.0) -> BusMessage:
-        """Queue a message; returns the (not yet delivered) record."""
-        if dst not in self._handlers:
-            raise CommError(f"unknown bus endpoint {dst!r}")
+             extra_latency_s: float = 0.0,
+             on_unknown: Optional[str] = None) -> BusMessage:
+        """Queue a message; returns the (not yet delivered) record.
+
+        ``on_unknown`` overrides :attr:`unknown_dst_policy` for this call
+        (retry layers pass ``"drop"`` so a destination mid-reconnect does
+        not abort the retry loop).
+        """
+        policy = on_unknown if on_unknown is not None \
+            else self.unknown_dst_policy
+        if policy not in UNKNOWN_DST_POLICIES:
+            raise CommError(f"unknown-destination policy must be one of "
+                            f"{UNKNOWN_DST_POLICIES}, got {policy!r}")
         latency = (self.base_latency_s + extra_latency_s
                    + BUS_PER_KB_LATENCY_S * (size_bytes / 1024.0))
         message = BusMessage(
             msg_id=next(self._ids), src=src, dst=dst, payload=payload,
             size_bytes=size_bytes, sent_at=self.sim.now,
             delivered_at=self.sim.now + latency)
-        self.sim.schedule(latency, self._deliver, message,
-                          label=f"bus {src}->{dst}")
+        if dst not in self._handlers:
+            if policy == "raise":
+                raise CommError(f"unknown bus endpoint {dst!r}")
+            self.undeliverable_messages += 1
+            message.dropped = True
+            return message
+        deliveries = [0.0]
+        if self.fault_injector is not None:
+            deliveries = self.fault_injector.plan(src, dst)
+            if not deliveries:
+                message.dropped = True
+                return message
+        for extra_delay in deliveries:
+            self.sim.schedule(latency + extra_delay, self._deliver, message,
+                              label=f"bus {src}->{dst}")
         return message
 
     def _deliver(self, message: BusMessage) -> None:
         handler = self._handlers.get(message.dst)
         if handler is None:
-            return  # endpoint vanished (seed undeployed mid-flight)
+            # endpoint vanished (seed undeployed mid-flight)
+            self.undeliverable_messages += 1
+            return
+        message.delivered_at = self.sim.now
         self.delivered.append(message)
         self.total_bytes += message.size_bytes
         self.total_messages += 1

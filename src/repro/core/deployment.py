@@ -7,9 +7,11 @@ benchmark would otherwise repeat.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
+from repro.core.chaos import FaultInjector
 from repro.core.comm import ControlBus, SoilCommConfig
+from repro.core.reliable import RetryPolicy
 from repro.core.seeder import Seeder
 from repro.core.soil import Soil
 from repro.net.controller import SdnController
@@ -25,7 +27,8 @@ class FarmDeployment:
     def __init__(self, topology: Optional[Topology] = None,
                  switch_model: SwitchModel = ACCTON_AS5712,
                  soil_config: Optional[SoilCommConfig] = None,
-                 solver: str = "heuristic") -> None:
+                 solver: str = "heuristic",
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.sim = Simulator()
         self.topology = topology if topology is not None else spine_leaf()
         self.controller = SdnController(self.topology)
@@ -33,11 +36,20 @@ class FarmDeployment:
                                               model=switch_model)
         self.bus = ControlBus(self.sim)
         self.seeder = Seeder(self.sim, self.controller, self.fleet, self.bus,
-                             soil_config=soil_config, solver=solver)
+                             soil_config=soil_config, solver=solver,
+                             retry_policy=retry_policy)
+        self.chaos: Optional[FaultInjector] = None
 
     # -- convenience ---------------------------------------------------
     def soil(self, switch_id: int) -> Soil:
         return self.seeder.soils[switch_id]
+
+    def enable_chaos(self, seed: int = 0) -> FaultInjector:
+        """Attach a (deterministic) fault injector to the control bus."""
+        if self.chaos is None:
+            self.chaos = FaultInjector(self.sim, seed=seed)
+            self.chaos.attach(self.bus)
+        return self.chaos
 
     def start_workload(self, workload: Workload, switch_id: int) -> Workload:
         """Attach a workload's flows to one switch's ASIC."""

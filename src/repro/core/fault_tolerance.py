@@ -4,7 +4,12 @@ Three mechanisms, composable and individually testable:
 
 * **Heartbeats + failure detection** — every soil emits a periodic
   heartbeat on the control bus; the :class:`FaultToleranceManager` marks
-  a switch failed after ``miss_limit`` silent periods.
+  a switch *suspected* after ``miss_limit`` silent periods and only
+  *failed* after ``confirm_limit`` (default ``2 * miss_limit``).  The
+  grace period keeps a lossy-but-alive control bus (chaos injection,
+  congested broker) from triggering spurious failovers: heartbeats are
+  deliberately fire-and-forget — silence is the signal — so tolerance
+  has to live in the detector, not in retransmission.
 * **Checkpointing** — the manager periodically snapshots every deployed
   seed's inner state (the same serialization migration uses).
 * **Failover** — when a switch fails, its capacity is removed from the
@@ -20,8 +25,8 @@ seed that threw, up to ``max_seed_crashes``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Set
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
 
 from repro.core.comm import BusMessage, ControlBus
 from repro.core.seeder import Seeder
@@ -36,6 +41,8 @@ class SwitchHealth:
     switch_id: int
     last_heartbeat: float
     missed: int = 0
+    suspected: bool = False
+    suspected_at: Optional[float] = None
     failed: bool = False
     failed_at: Optional[float] = None
 
@@ -46,17 +53,30 @@ class FaultToleranceManager:
     def __init__(self, seeder: Seeder,
                  heartbeat_interval_s: float = 0.5,
                  miss_limit: int = 3,
+                 confirm_limit: Optional[int] = None,
                  checkpoint_interval_s: float = 1.0) -> None:
         if miss_limit < 1:
             raise DeploymentError("miss_limit must be at least 1")
+        if confirm_limit is None:
+            confirm_limit = 2 * miss_limit
+        if confirm_limit < miss_limit:
+            raise DeploymentError(
+                f"confirm_limit ({confirm_limit}) must be >= miss_limit "
+                f"({miss_limit})")
         self.seeder = seeder
         self.sim: Simulator = seeder.sim
         self.bus: ControlBus = seeder.bus
         self.heartbeat_interval_s = heartbeat_interval_s
         self.miss_limit = miss_limit
+        self.confirm_limit = confirm_limit
         self.health: Dict[int, SwitchHealth] = {}
         self.checkpoints: Dict[str, Dict[str, Any]] = {}
         self.failovers_performed = 0
+        self.recoveries_performed = 0
+        #: Suspicions raised / cleared without escalating to failure —
+        #: the lossy-but-alive near misses the grace period absorbed.
+        self.suspicions_raised = 0
+        self.suspicions_cleared = 0
         #: seed ids displaced by a failure with nowhere to go.
         self.parked_seeds: Set[str] = set()
         self.bus.register(HEARTBEAT_ENDPOINT, self._on_heartbeat)
@@ -91,6 +111,11 @@ class FaultToleranceManager:
             return
         health.last_heartbeat = self.sim.now
         health.missed = 0
+        if health.suspected:
+            # A lossy-but-alive switch: the grace period did its job.
+            health.suspected = False
+            health.suspected_at = None
+            self.suspicions_cleared += 1
         if health.failed:
             self._handle_recovery(health)
 
@@ -102,7 +127,12 @@ class FaultToleranceManager:
             if self.sim.now - health.last_heartbeat > deadline:
                 health.missed += 1
                 health.last_heartbeat = self.sim.now  # count per period
-                if health.missed >= self.miss_limit:
+                if (health.missed >= self.miss_limit
+                        and not health.suspected):
+                    health.suspected = True
+                    health.suspected_at = self.sim.now
+                    self.suspicions_raised += 1
+                if health.missed >= self.confirm_limit:
                     self._handle_failure(health)
 
     # ------------------------------------------------------------------
@@ -110,7 +140,13 @@ class FaultToleranceManager:
     # ------------------------------------------------------------------
     def _checkpoint_all(self) -> None:
         for switch_id, soil in self.seeder.soils.items():
-            if getattr(soil, "failed", False):
+            health = self.health.get(switch_id)
+            # Skip powered-off soils AND switches *we* consider failed: a
+            # partitioned switch still runs its (now stale) seed copies,
+            # and snapshotting those would overwrite the checkpoints the
+            # failover restored from.
+            if getattr(soil, "failed", False) \
+                    or (health is not None and health.failed):
                 continue
             for seed_id in list(soil.deployments):
                 self.checkpoints[seed_id] = soil.snapshot_seed(seed_id)
@@ -124,6 +160,8 @@ class FaultToleranceManager:
     def _handle_failure(self, health: SwitchHealth) -> None:
         health.failed = True
         health.failed_at = self.sim.now
+        health.suspected = False
+        health.suspected_at = None
         switch_id = health.switch_id
         self.seeder.failed_switches.add(switch_id)
         self.failovers_performed += 1
@@ -146,14 +184,29 @@ class FaultToleranceManager:
         self._redeploy_with_checkpoints()
 
     def _handle_recovery(self, health: SwitchHealth) -> None:
-        """A failed switch heartbeats again: return it to the pool."""
+        """A failed switch heartbeats again: return it to the pool.
+
+        Re-placement always runs — the recovered capacity changes the
+        optimum even when nothing was parked.  Parked seeds (pinned to
+        the dead switch) additionally come back to life here.
+        """
         health.failed = False
+        health.failed_at = None
         health.missed = 0
         self.seeder.failed_switches.discard(health.switch_id)
-        recovered = {seed_id for seed_id in self.parked_seeds}
-        self.parked_seeds.clear()
-        if recovered or True:
-            self._redeploy_with_checkpoints()
+        self.recoveries_performed += 1
+        revived = {seed_id for seed_id in self.parked_seeds
+                   if self._can_place_now(seed_id)}
+        self.parked_seeds -= revived
+        self._redeploy_with_checkpoints()
+
+    def _can_place_now(self, seed_id: str) -> bool:
+        for task in self.seeder.tasks.values():
+            for seed in task.seeds:
+                if seed.seed_id == seed_id:
+                    return any(n not in self.seeder.failed_switches
+                               for n in seed.candidates)
+        return False
 
     def _redeploy_with_checkpoints(self) -> None:
         snapshots = dict(self.checkpoints)
@@ -170,6 +223,10 @@ class FaultToleranceManager:
         return sorted(h.switch_id for h in self.health.values()
                       if not h.failed)
 
+    def suspected_switch_ids(self) -> List[int]:
+        return sorted(h.switch_id for h in self.health.values()
+                      if h.suspected and not h.failed)
+
     def failed_switch_ids(self) -> List[int]:
         return sorted(h.switch_id for h in self.health.values() if h.failed)
 
@@ -180,17 +237,9 @@ def fail_switch(seeder: Seeder, switch_id: int) -> None:
     The soil stops heartbeating and processing; deployed seed objects are
     lost (only checkpoints survive), exactly like a power failure.
     """
-    soil = seeder.soils[switch_id]
-    soil.failed = True
-    for deployment in list(soil.deployments.values()):
-        for timer in deployment.timers.values():
-            timer.stop()
-        soil.bus.unregister(f"seed/{switch_id}/{deployment.seed_id}")
-    soil.deployments.clear()
-    soil.switch.cpu._standing.clear()
-    soil.switch.pcie.unregister_poller("soil")
+    seeder.soils[switch_id].power_off()
 
 
 def recover_switch(seeder: Seeder, switch_id: int) -> None:
     """Bring a previously failed switch back (heartbeats resume)."""
-    seeder.soils[switch_id].failed = False
+    seeder.soils[switch_id].power_on()

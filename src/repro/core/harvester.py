@@ -9,9 +9,9 @@ configuration (thresholds, reaction policies) back down.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.core.comm import BusMessage, ControlBus, estimate_size_bytes
+from repro.core.comm import BusMessage, ControlBus
 from repro.errors import DeploymentError
 from repro.sim.engine import Simulator
 
@@ -36,6 +36,10 @@ class Harvester:
         self.bus: Optional[ControlBus] = None
         self._seeder = None
         self.reports: List[SeedReport] = []
+        #: Telemetry is fire-and-forget, so a chaotic bus may duplicate
+        #: it; reports carry (switch, epoch, rseq) and are deduplicated.
+        self._seen_reports: Dict[Tuple[str, int, float], Set[int]] = {}
+        self.duplicate_reports = 0
 
     # ------------------------------------------------------------------
     # Lifecycle (called by the seeder)
@@ -66,6 +70,16 @@ class Harvester:
         payload = message.payload
         if not isinstance(payload, dict) or "value" not in payload:
             return
+        rseq = payload.get("rseq")
+        if rseq is not None:
+            key = (str(payload.get("seed_id", "?")),
+                   int(payload.get("switch", -1)),
+                   float(payload.get("epoch", 0.0)))
+            seen = self._seen_reports.setdefault(key, set())
+            if rseq in seen:
+                self.duplicate_reports += 1
+                return
+            seen.add(rseq)
         report = SeedReport(
             time=self.sim.now if self.sim else 0.0,
             seed_id=str(payload.get("seed_id", "?")),

@@ -27,14 +27,21 @@ from repro.placement.model import (
     SeedSpec,
     TaskSpec,
 )
-from repro.core.comm import ControlBus, SoilCommConfig, estimate_size_bytes
+from repro.core.comm import (
+    BusMessage,
+    ControlBus,
+    SoilCommConfig,
+    estimate_size_bytes,
+)
+from repro.core.reliable import ReliableEndpoint, RetryPolicy
 from repro.core.soil import Soil
 from repro.core.task import TaskDefinition
 from repro.sim.engine import Simulator
 from repro.switchsim.chassis import RESOURCE_TYPES, SwitchFleet
 from repro.switchsim.stratum import driver_for
 
-#: Control latency for a deploy command reaching a soil.
+#: Soil-side install overhead a deploy command pays on top of the bus
+#: latency (unpack + validate + arm; the historic 1 ms control latency).
 DEPLOY_LATENCY_S = 1e-3
 
 #: State-transfer bandwidth between switches during migration (B/s).
@@ -70,12 +77,15 @@ class ActiveTask:
 class Seeder:
     """Central control: task lifecycle + global placement."""
 
+    ENDPOINT = "seeder"
+
     def __init__(self, sim: Simulator, controller: SdnController,
                  fleet: SwitchFleet, bus: ControlBus,
                  soil_config: Optional[SoilCommConfig] = None,
                  solver: str = "heuristic",
                  resource_types=RESOURCE_TYPES,
-                 milp_time_limit_s: float = 10.0) -> None:
+                 milp_time_limit_s: float = 10.0,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if solver not in ("heuristic", "milp"):
             raise DeploymentError(f"unknown solver {solver!r}")
         self.sim = sim
@@ -85,10 +95,12 @@ class Seeder:
         self.solver = solver
         self.milp_time_limit_s = milp_time_limit_s
         self.resource_types = tuple(resource_types)
+        self.retry_policy = retry_policy or RetryPolicy()
         self.soils: Dict[int, Soil] = {}
         for switch in fleet:
             soil = Soil(sim, switch, driver_for(switch), bus,
-                        config=soil_config, resource_types=resource_types)
+                        config=soil_config, resource_types=resource_types,
+                        retry_policy=self.retry_policy)
             soil.seed_message_router = self._route_seed_message
             soil.add_transition_listener(self._make_transition_listener(soil))
             self.soils[switch.switch_id] = soil
@@ -99,7 +111,13 @@ class Seeder:
         self.optimizations_run = 0
         self.migrations_performed = 0
         self.last_solution: Optional[PlacementSolution] = None
-        bus.register("seeder", lambda msg: None)
+        #: Commands that exhausted every retransmission (dead letters).
+        self.lost_commands = 0
+        #: Reliable command channel: deploy/migrate/undeploy commands out,
+        #: soil lifecycle reports (deployed/undeployed/...) back in.
+        self.channel = ReliableEndpoint(
+            bus, sim, self.ENDPOINT, self._on_soil_event,
+            policy=self.retry_policy)
 
     # ------------------------------------------------------------------
     # Task lifecycle
@@ -147,8 +165,11 @@ class Seeder:
             raise DeploymentError(f"unknown task {task_id!r}")
         for seed in task.seeds:
             if self._is_live(seed):
-                self.soils[seed.switch].undeploy(seed.seed_id)
+                self._send_command(seed.switch, {
+                    "cmd": "undeploy", "seed_id": seed.seed_id,
+                    "reason": "remove"})
             seed.switch = None
+            seed.migrating = False
         if task.definition.harvester is not None:
             task.definition.harvester.detach()
         if reoptimize and self.tasks:
@@ -264,11 +285,18 @@ class Seeder:
         restore_snapshots = restore_snapshots or {}
         for task in self.tasks.values():
             for seed in task.seeds:
+                if seed.migrating:
+                    # A migration is mid-flight; touching the seed now
+                    # would race its undeploy/deploy pair.  The next
+                    # reconciliation sees the settled state.
+                    continue
                 target = solution.placement.get(seed.seed_id)
                 allocation = solution.allocations.get(seed.seed_id, {})
                 if target is None:
                     if self._is_live(seed):
-                        self.soils[seed.switch].undeploy(seed.seed_id)
+                        self._send_command(seed.switch, {
+                            "cmd": "undeploy", "seed_id": seed.seed_id,
+                            "reason": "displaced"})
                     seed.switch = None
                     seed.allocation = {}
                 elif seed.switch is None:
@@ -279,73 +307,195 @@ class Seeder:
                     if self._is_live(seed):
                         self._migrate(task, seed, target, allocation)
                     else:
-                        # Deploy command still in flight: redirect it (the
-                        # deferred deploy reads seed.switch at fire time).
+                        # Deploy command still in flight: retarget the
+                        # bookkeeping and race it — whichever lands as a
+                        # stale copy is swept by the deployed-event check.
                         seed.switch = target
                         seed.allocation = dict(allocation)
+                        self._deploy(task, seed, target, allocation,
+                                     snapshot=restore_snapshots.get(
+                                         seed.seed_id))
                 else:
                     if not _alloc_close(seed.allocation, allocation):
                         seed.allocation = dict(allocation)
                         if self._is_live(seed):
-                            self.soils[target].reallocate(seed.seed_id,
-                                                          allocation)
+                            self._send_command(target, {
+                                "cmd": "reallocate",
+                                "seed_id": seed.seed_id,
+                                "allocation": dict(allocation)})
+        self._sweep_stale_deployments()
+
+    def _sweep_stale_deployments(self) -> None:
+        """Undeploy seed copies running where the bookkeeping says they
+        should not be (split-brain cleanup after partitions heal)."""
+        expected: Dict[str, Optional[int]] = {}
+        migrating: set = set()
+        for task in self.tasks.values():
+            for seed in task.seeds:
+                expected[seed.seed_id] = seed.switch
+                if seed.migrating:
+                    migrating.add(seed.seed_id)
+        for switch_id, soil in self.soils.items():
+            if soil.failed:
+                continue
+            for seed_id in list(soil.deployments):
+                if seed_id in migrating:
+                    continue  # its undeploy/deploy pair is in flight
+                if expected.get(seed_id) != switch_id:
+                    self._send_command(switch_id, {
+                        "cmd": "undeploy", "seed_id": seed_id,
+                        "reason": "stale"})
 
     def _deploy(self, task: ActiveTask, seed: ManagedSeed, target: int,
                 allocation: Mapping[str, float],
                 snapshot: Optional[Mapping[str, Any]] = None) -> None:
-        config = next(c for c in task.definition.machines
-                      if c.machine_name == seed.machine_name)
         seed.switch = target
         seed.allocation = dict(allocation)
-
-        def do_deploy() -> None:
-            if seed.switch is None:
-                return  # task undeployed while the command was in flight
-            soil = self.soils[seed.switch]
-            if seed.seed_id in soil.deployments:
-                return
-            deployment = soil.deploy(
-                seed_id=seed.seed_id, task_id=seed.task_id,
-                program_xml=seed.blueprint.xml_payload,
-                machine_name=seed.machine_name,
-                externals=config.externals, allocation=seed.allocation,
-                snapshot=snapshot, event_cpu_s=config.event_cpu_s)
-            seed.current_state = deployment.instance.current_state
-            seed.migrating = False
-
-        self.sim.schedule(DEPLOY_LATENCY_S, do_deploy,
-                          label=f"deploy {seed.seed_id}@{target}")
+        self._send_deploy(seed, target, snapshot)
 
     def _migrate(self, task: ActiveTask, seed: ManagedSeed, target: int,
                  allocation: Mapping[str, float]) -> None:
-        """SV-B: deploy the description at the new location, transfer the
-        state, resume execution once migrated."""
-        source_soil = self.soils[seed.switch]
-        snapshot = source_soil.undeploy(seed.seed_id)
+        """SV-B: undeploy at the source (its reply carries the snapshot),
+        transfer the state, deploy at the destination, resume."""
+        old_switch = seed.switch
+        seed.migrating = True
+        self.migrations_performed += 1
+        seed.switch = target
+        seed.allocation = dict(allocation)
+        self._send_command(old_switch, {
+            "cmd": "undeploy", "seed_id": seed.seed_id,
+            "reason": "migrate", "dest": target})
+
+    # ------------------------------------------------------------------
+    # Command channel (reliable seeder -> soil control plane)
+    # ------------------------------------------------------------------
+    def _send_command(self, switch_id: int,
+                      payload: Dict[str, Any]) -> None:
+        self.channel.send(f"soil/{switch_id}", payload,
+                          on_dead=self._on_command_dead_letter)
+
+    def _send_deploy(self, seed: ManagedSeed, target: int,
+                     snapshot: Optional[Mapping[str, Any]]) -> None:
+        config = self._config_for(seed)
+        if config is None:
+            return  # task vanished while the command was being prepared
+        payload = {
+            "cmd": "deploy", "seed_id": seed.seed_id,
+            "task_id": seed.task_id,
+            "program_xml": seed.blueprint.xml_payload,
+            "machine_name": seed.machine_name,
+            "externals": config.externals,
+            "allocation": dict(seed.allocation),
+            "snapshot": snapshot, "event_cpu_s": config.event_cpu_s}
+        self.channel.send(f"soil/{target}", payload,
+                          on_dead=self._on_command_dead_letter,
+                          extra_latency_s=DEPLOY_LATENCY_S)
+
+    def _config_for(self, seed: ManagedSeed):
+        task = self.tasks.get(seed.task_id)
+        if task is None:
+            return None
+        return next(c for c in task.definition.machines
+                    if c.machine_name == seed.machine_name)
+
+    def _find_seed(self, seed_id: Optional[str]) -> Optional[ManagedSeed]:
+        if seed_id is None:
+            return None
+        for task in self.tasks.values():
+            for seed in task.seeds:
+                if seed.seed_id == seed_id:
+                    return seed
+        return None
+
+    def _on_soil_event(self, message: BusMessage) -> None:
+        """Soil lifecycle reports arriving on the reliable channel."""
+        payload = message.payload
+        if not isinstance(payload, dict) or "event" not in payload:
+            return
+        event = payload["event"]
+        seed = self._find_seed(payload.get("seed_id"))
+        if event == "deployed":
+            self._on_deployed(seed, payload)
+        elif event == "undeployed":
+            self._on_undeployed(seed, payload)
+        elif event == "deploy-failed":
+            if seed is not None and seed.switch == payload.get("switch"):
+                seed.switch = None
+                seed.allocation = {}
+                seed.migrating = False
+
+    def _on_deployed(self, seed: Optional[ManagedSeed],
+                     payload: Dict[str, Any]) -> None:
+        switch = payload.get("switch")
+        seed_id = payload.get("seed_id")
+        if seed is None or seed.switch != switch:
+            # Task removed or seed retargeted while the command flew:
+            # the copy that just started is stale — take it down.
+            self._send_command(switch, {
+                "cmd": "undeploy", "seed_id": seed_id, "reason": "stale"})
+            return
+        seed.current_state = payload.get("state") or seed.current_state
+        seed.migrating = False
+        # The allocation may have been re-optimized while the deploy was
+        # in flight; converge the live deployment to the bookkeeping.
+        soil = self.soils.get(switch)
+        live = soil.deployments.get(seed_id) if soil is not None else None
+        if live is not None and not _alloc_close(live.allocation,
+                                                 seed.allocation):
+            self._send_command(switch, {
+                "cmd": "reallocate", "seed_id": seed_id,
+                "allocation": dict(seed.allocation)})
+
+    def _on_undeployed(self, seed: Optional[ManagedSeed],
+                       payload: Dict[str, Any]) -> None:
+        if payload.get("reason") != "migrate" or seed is None:
+            return
+        snapshot = payload.get("snapshot")
         state_size = estimate_size_bytes(snapshot)
         transfer = (MIGRATION_OVERHEAD_S
                     + state_size / MIGRATION_BANDWIDTH_BPS)
-        seed.migrating = True
-        self.migrations_performed += 1
-        old_switch = seed.switch
-        seed.switch = target
-        seed.allocation = dict(allocation)
-        config = next(c for c in task.definition.machines
-                      if c.machine_name == seed.machine_name)
-
-        def arrive() -> None:
-            deployment = self.soils[target].deploy(
-                seed_id=seed.seed_id, task_id=seed.task_id,
-                program_xml=seed.blueprint.xml_payload,
-                machine_name=seed.machine_name,
-                externals=config.externals, allocation=allocation,
-                snapshot=snapshot, event_cpu_s=config.event_cpu_s)
-            seed.current_state = deployment.instance.current_state
-            seed.migrating = False
-
-        self.sim.schedule(transfer, arrive,
+        self.sim.schedule(transfer, self._finish_migration, seed, snapshot,
                           label=f"migrate {seed.seed_id} "
-                                f"{old_switch}->{target}")
+                                f"->{seed.switch}")
+
+    def _finish_migration(self, seed: ManagedSeed,
+                          snapshot: Optional[Mapping[str, Any]]) -> None:
+        if seed.switch is None or self._find_seed(seed.seed_id) is None:
+            seed.migrating = False
+            return  # task removed while the state was in transit
+        if self._is_live(seed):
+            seed.migrating = False
+            return
+        self._send_deploy(seed, seed.switch, snapshot)
+
+    def _on_command_dead_letter(self, dst: str, payload: Any,
+                                attempts: int) -> None:
+        """A command exhausted its retries (destination dead or
+        partitioned beyond the retry horizon)."""
+        self.lost_commands += 1
+        if not isinstance(payload, dict):
+            return
+        seed = self._find_seed(payload.get("seed_id"))
+        if seed is None:
+            return
+        cmd = payload.get("cmd")
+        if cmd == "deploy":
+            try:
+                switch = int(dst.rsplit("/", 1)[1])
+            except (ValueError, IndexError):
+                return
+            if seed.switch == switch and not self._is_live(seed):
+                # Give up on this placement; the fault-tolerance manager
+                # (or the next reoptimize) finds the seed a new home.
+                seed.switch = None
+                seed.allocation = {}
+                seed.migrating = False
+        elif cmd == "undeploy" and payload.get("reason") == "migrate":
+            # The source is unreachable: its copy of the state is lost.
+            # Restart the seed at its target rather than blocking forever.
+            seed.migrating = False
+            if seed.switch is not None and not self._is_live(seed):
+                self._send_deploy(seed, seed.switch, None)
 
     # ------------------------------------------------------------------
     # Message routing

@@ -40,6 +40,7 @@ from repro.core.comm import (
     seed_soil_cpu_cost,
     seed_soil_latency,
 )
+from repro.core.reliable import ReliableEndpoint, RetryPolicy
 
 #: Default CPU cost of one seed event handler invocation (statistics
 #: filtering + state machine bookkeeping) — the HH-class workload.
@@ -134,7 +135,8 @@ class Soil:
     def __init__(self, sim: Simulator, switch: Switch, driver: SwitchDriver,
                  bus: ControlBus,
                  config: Optional[SoilCommConfig] = None,
-                 resource_types=RESOURCE_TYPES) -> None:
+                 resource_types=RESOURCE_TYPES,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.sim = sim
         self.switch = switch
         self.driver = driver
@@ -160,7 +162,12 @@ class Soil:
         self.crash_policy = "propagate"
         self.max_seed_crashes = 3
         self.seed_crashes: Dict[str, int] = {}
-        bus.register(self.endpoint, self._on_bus_message)
+        #: Reliable command channel (seeder -> soil commands, soil ->
+        #: seeder lifecycle reports).  A failed soil goes silent: it
+        #: neither acks nor processes until :meth:`power_on`.
+        self.channel = ReliableEndpoint(
+            bus, sim, self.endpoint, self._on_bus_message,
+            policy=retry_policy, alive=lambda: not self.failed)
         #: Router installed by the seeder for inter-seed messages.
         self.seed_message_router: Optional[Callable[..., None]] = None
         self.polls_issued = 0
@@ -511,9 +518,16 @@ class Soil:
         dst = f"harvester/{deployment.task_id}"
         if not self.bus.is_registered(dst):
             return  # task has no harvester; message is dropped silently
+        # Telemetry is fire-and-forget (a lost report ages out of any
+        # windowed aggregate), but it carries a per-seed sequence number
+        # so the harvester can discard duplicates a chaotic bus created.
         self.bus.send(self._seed_endpoint(deployment.seed_id), dst,
                       {"seed_id": deployment.seed_id,
-                       "switch": self.switch.switch_id, "value": value},
+                       "switch": self.switch.switch_id, "value": value,
+                       "rseq": deployment.messages_sent,
+                       # Deployment epoch: rseq restarts when a seed is
+                       # redeployed (failover), so dedup keys include it.
+                       "epoch": deployment.deployed_at},
                       size_bytes=estimate_size_bytes(value))
 
     def send_to_machine(self, deployment: SeedDeployment, machine: str,
@@ -526,7 +540,69 @@ class Soil:
                                  machine, dst, value)
 
     def _on_bus_message(self, message: BusMessage) -> None:
-        """Control messages addressed to the soil itself (unused hooks)."""
+        """Seeder commands addressed to the soil (reliable channel).
+
+        Every command is idempotent: the reliable layer deduplicates true
+        retransmissions, but the seeder may legitimately re-issue a
+        command (dead-letter recovery, stale-sweep), so handlers tolerate
+        already-applied state rather than raising.
+        """
+        payload = message.payload
+        if not isinstance(payload, dict) or "cmd" not in payload:
+            return
+        command = str(payload["cmd"])
+        if command == "deploy":
+            self._cmd_deploy(message.src, payload)
+        elif command == "undeploy":
+            self._cmd_undeploy(message.src, payload)
+        elif command == "reallocate":
+            self._cmd_reallocate(payload)
+
+    def _reply(self, dst: str, payload: Dict[str, Any]) -> None:
+        self.channel.send(dst, payload)
+
+    def _cmd_deploy(self, reply_to: str, payload: Dict[str, Any]) -> None:
+        seed_id = payload["seed_id"]
+        deployment = self.deployments.get(seed_id)
+        if deployment is None:
+            try:
+                deployment = self.deploy(
+                    seed_id=seed_id, task_id=payload["task_id"],
+                    program_xml=payload["program_xml"],
+                    machine_name=payload["machine_name"],
+                    externals=payload.get("externals"),
+                    allocation=payload.get("allocation"),
+                    snapshot=payload.get("snapshot"),
+                    event_cpu_s=payload.get(
+                        "event_cpu_s", DEFAULT_EVENT_CPU_S))
+            except DeploymentError as exc:
+                self._reply(reply_to, {
+                    "event": "deploy-failed", "seed_id": seed_id,
+                    "switch": self.switch.switch_id, "error": str(exc)})
+                return
+        self._reply(reply_to, {
+            "event": "deployed", "seed_id": seed_id,
+            "switch": self.switch.switch_id,
+            "state": deployment.instance.current_state})
+
+    def _cmd_undeploy(self, reply_to: str, payload: Dict[str, Any]) -> None:
+        seed_id = payload["seed_id"]
+        reason = payload.get("reason", "remove")
+        snapshot = None
+        if seed_id in self.deployments:
+            snapshot = self.undeploy(seed_id)
+        self._reply(reply_to, {
+            "event": "undeployed", "seed_id": seed_id,
+            "switch": self.switch.switch_id, "reason": reason,
+            "dest": payload.get("dest"),
+            # The snapshot only travels when someone waits for it
+            # (migration); plain removals don't ship dead state.
+            "snapshot": snapshot if reason == "migrate" else None})
+
+    def _cmd_reallocate(self, payload: Dict[str, Any]) -> None:
+        seed_id = payload["seed_id"]
+        if seed_id in self.deployments:
+            self.reallocate(seed_id, payload.get("allocation") or {})
 
     def _on_seed_message(self, seed_id: str, message: BusMessage) -> None:
         deployment = self.deployments.get(seed_id)
@@ -555,6 +631,32 @@ class Soil:
             return
         deployment.events_delivered += 1
         deployment.instance.fire_recv(value, source_machine=source_machine)
+
+    # ------------------------------------------------------------------
+    # Power state (fault tolerance / ops)
+    # ------------------------------------------------------------------
+    def power_off(self) -> None:
+        """Crash the switch: seeds, timers, standing load, and in-flight
+        control traffic are all lost; only off-switch checkpoints survive.
+        The soil goes silent on the bus (no acks, no heartbeats) until
+        :meth:`power_on`."""
+        if self.failed:
+            return
+        self.failed = True
+        for deployment in list(self.deployments.values()):
+            for timer in deployment.timers.values():
+                timer.stop()
+            self.bus.unregister(self._seed_endpoint(deployment.seed_id))
+        self.deployments.clear()
+        self._poll_cache.clear()
+        self.channel.reset()
+        self.switch.cpu.clear_all_standing()
+        self.switch.pcie.unregister_poller("soil")
+
+    def power_on(self) -> None:
+        """Bring a powered-off switch back; it resumes empty (deploys and
+        heartbeats restart it into service)."""
+        self.failed = False
 
     # ------------------------------------------------------------------
     # Transitions & external code

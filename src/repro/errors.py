@@ -76,3 +76,7 @@ class DeploymentError(FarmError):
 
 class CommError(FarmError):
     """Communication-service failure (unknown endpoint, closed channel)."""
+
+
+class ChaosError(FarmError):
+    """A fault-injection scenario was configured inconsistently."""

@@ -3,6 +3,7 @@
 from repro.eval.experiments import (
     AggregationPoint,
     BusLoadPoint,
+    ChaosResiliencePoint,
     CommLatencyPoint,
     CpuLoadPoint,
     DetectionResult,
@@ -15,6 +16,7 @@ from repro.eval.experiments import (
     run_fig7_placement,
     run_fig8_pcie,
     run_fig9_aggregation,
+    run_chaos_resilience,
     run_fig10_comm_latency,
     run_tab4_responsiveness,
 )
@@ -27,12 +29,14 @@ from repro.eval.reporting import (
 )
 
 __all__ = [
-    "AggregationPoint", "BusLoadPoint", "CommLatencyPoint", "CpuLoadPoint",
+    "AggregationPoint", "BusLoadPoint", "ChaosResiliencePoint",
+    "CommLatencyPoint", "CpuLoadPoint",
     "DetectionResult", "NetworkLoadPoint", "PlacementPoint",
     "SeedScalingPoint",
     "run_fig4_network_load", "run_fig5_cpu_load", "run_fig6_seed_scaling",
     "run_fig7_placement", "run_fig8_pcie", "run_fig9_aggregation",
-    "run_fig10_comm_latency", "run_tab4_responsiveness",
+    "run_chaos_resilience", "run_fig10_comm_latency",
+    "run_tab4_responsiveness",
     "format_latency", "format_rate", "format_table", "linear_slope",
     "series_by",
 ]

@@ -47,8 +47,6 @@ def feature_table() -> Dict[str, FeatureRow]:
 def implemented_capabilities() -> Dict[str, Dict[str, bool]]:
     """Capabilities of *this repository's implementations*, derived from
     the code (asserted against FEATURE_MATRIX by the Tab. V benchmark)."""
-    from repro.baselines.sflow import SflowAgent
-    from repro.baselines.sonata import NewtonDeployment, SonataDeployment
 
     return {
         "FARM": {

@@ -17,7 +17,6 @@ import itertools
 from typing import List, Optional, Set, Tuple
 
 from repro.errors import TopologyError
-from repro.net.addresses import ANY_PREFIX, Prefix
 from repro.net.filters import Filter
 from repro.net.topology import Topology
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional, Tuple, Union
 
 from repro.errors import FarmError
-from repro.net.addresses import ANY_PREFIX, Prefix
+from repro.net.addresses import Prefix
 from repro.net.packet import FlowKey, Packet
 
 #: Sentinel for "all switch ports" in a :class:`SwitchPortFilter`.

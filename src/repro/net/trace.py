@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
 from repro.errors import FarmError
 from repro.net.addresses import parse_ip
 from repro.net.packet import PROTO_TCP, PROTO_UDP, Flow, FlowKey
-from repro.net.traffic import TrafficSink, Workload
+from repro.net.traffic import Workload
 
 
 @dataclass(frozen=True)

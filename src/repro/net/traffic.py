@@ -14,19 +14,12 @@ and benchmarks can score detection accuracy.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Set
 
 from repro.errors import FarmError
 from repro.net.addresses import parse_ip
-from repro.net.packet import (
-    PROTO_TCP,
-    PROTO_UDP,
-    Flow,
-    FlowKey,
-    TCP_ACK,
-    TCP_SYN,
-)
+from repro.net.packet import PROTO_TCP, PROTO_UDP, Flow, FlowKey, TCP_SYN
 from repro.sim.engine import Simulator
 
 

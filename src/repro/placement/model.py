@@ -19,7 +19,7 @@ Conventions
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Tuple
 
 from repro.almanac.poly import LinPoly, PiecewiseUtility
 from repro.errors import PlacementError

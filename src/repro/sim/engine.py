@@ -262,6 +262,23 @@ def exponential_backoff(base: float, attempt: int, cap: float) -> float:
     return min(cap, base * (2 ** attempt))
 
 
+def jittered_backoff(base: float, attempt: int, cap: float,
+                     rng: Optional[Any] = None,
+                     jitter_frac: float = 0.0) -> float:
+    """:func:`exponential_backoff` with multiplicative jitter.
+
+    ``rng`` is any object with a ``random()`` method (e.g. a seeded
+    ``random.Random``); the kernel itself stays RNG-free — callers that
+    want jitter must bring their own deterministic source.  The jitter is
+    additive-only (``delay * [1, 1 + jitter_frac)``) so the backoff never
+    undershoots its deterministic floor.
+    """
+    delay = exponential_backoff(base, attempt, cap)
+    if rng is not None and jitter_frac > 0.0:
+        delay *= 1.0 + jitter_frac * rng.random()
+    return delay
+
+
 def iter_times(start: float, interval: float, end: float) -> Iterator[float]:
     """Yield ``start, start+interval, ...`` up to and including ``end``."""
     if interval <= 0:

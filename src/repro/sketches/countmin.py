@@ -9,7 +9,7 @@ at least ``1 - delta``, where ``N`` is the total count inserted.
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable, List, Optional, Tuple
+from typing import Hashable, Iterable, List, Tuple
 
 from repro.errors import FarmError
 

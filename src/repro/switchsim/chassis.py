@@ -7,8 +7,8 @@ vCPU cores, RAM (MB), monitoring TCAM entries, and PCIe polling capacity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.errors import SwitchError
 from repro.sim.engine import Simulator

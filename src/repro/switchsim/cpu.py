@@ -17,7 +17,7 @@ baseline agents run here.  The model accounts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.errors import SwitchError
 from repro.sim.engine import Simulator
@@ -63,6 +63,13 @@ class ManagementCpu:
     def clear_standing_load(self, key: str) -> None:
         self._accumulate()
         self._standing.pop(key, None)
+
+    def clear_all_standing(self) -> None:
+        """Drop every standing-load registration at once (power failure:
+        nothing survives on the management CPU)."""
+        self._accumulate()
+        self._standing.clear()
+        self._history.append(LoadSample(self.sim.now, self.load_percent))
 
     @property
     def standing_load_cores(self) -> float:

@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.harvester import Harvester, SeedReport
 from repro.core.task import TaskDefinition

@@ -127,6 +127,43 @@ class TestControlBus:
         assert times[0] >= 0.5
 
 
+class TestUnknownDestinationPolicy:
+    def test_drop_policy_counts_instead_of_raising(self):
+        sim = Simulator()
+        bus = ControlBus(sim, unknown_dst="drop")
+        message = bus.send("src", "ghost", None)
+        assert message.dropped
+        assert bus.undeliverable_messages == 1
+        sim.run()
+        assert bus.total_messages == 0  # nothing was delivered
+
+    def test_per_call_override(self):
+        sim = Simulator()
+        bus = ControlBus(sim)  # strict by default
+        message = bus.send("src", "ghost", None, on_unknown="drop")
+        assert message.dropped
+        assert bus.undeliverable_messages == 1
+        with pytest.raises(CommError):
+            bus.send("src", "ghost", None)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(CommError):
+            ControlBus(Simulator(), unknown_dst="teleport")
+        bus = ControlBus(Simulator())
+        bus.register("dst", lambda m: None)
+        with pytest.raises(CommError):
+            bus.send("src", "dst", None, on_unknown="teleport")
+
+    def test_vanished_endpoint_counted_at_delivery(self):
+        sim = Simulator()
+        bus = ControlBus(sim)
+        bus.register("dst", lambda m: None)
+        bus.send("src", "dst", "hello")
+        bus.unregister("dst")
+        sim.run()
+        assert bus.undeliverable_messages == 1
+
+
 class TestSizeEstimation:
     def test_monotone_in_content(self):
         assert estimate_size_bytes("abc") < estimate_size_bytes("abcdef" * 10)

@@ -43,14 +43,21 @@ class TestHeartbeats:
         assert manager.alive_switches() == sorted(farm.topology.switch_ids)
         assert manager.failovers_performed == 0
 
-    def test_silent_switch_declared_failed(self, farm):
+    def test_silent_switch_suspected_then_failed(self, farm):
         manager = FaultToleranceManager(farm.seeder,
                                         heartbeat_interval_s=0.2,
                                         miss_limit=3)
         farm.run(until=farm.sim.now + 1.0)
         victim = farm.topology.leaf_ids[0]
         fail_switch(farm.seeder, victim)
-        farm.run(until=farm.sim.now + 2.0)
+        # After miss_limit silent periods the switch is only *suspected*:
+        # no failover yet (the silence could be bus loss, not a crash).
+        farm.run(until=farm.sim.now + 1.5)
+        assert victim in manager.suspected_switch_ids()
+        assert victim not in manager.failed_switch_ids()
+        assert manager.failovers_performed == 0
+        # After confirm_limit (default 2 * miss_limit) it is failed.
+        farm.run(until=farm.sim.now + 1.5)
         assert victim in manager.failed_switch_ids()
         assert victim in farm.seeder.failed_switches
 
@@ -114,6 +121,119 @@ class TestCheckpointedFailover:
         assert victim not in problem.available
         for seed_spec in problem.all_seeds():
             assert victim not in seed_spec.candidates
+
+
+PINNED_SOURCE = """
+machine PinnedCounter {
+  place all;
+  time tick = 0.05;
+  long n = 0;
+  state counting {
+    util (res) { if (res.vCPU >= 0.1) then { return 10; } }
+    when (tick) do { n = n + 1; }
+  }
+}
+"""
+
+
+class TestFailRecoverUnparkCycle:
+    def test_pinned_seed_full_cycle_keeps_checkpointed_state(self, farm):
+        """fail -> park -> recover -> un-park, counter history intact."""
+        task = TaskDefinition.single_machine(
+            task_id="pinned", source=PINNED_SOURCE,
+            machine_name="PinnedCounter")
+        farm.submit(task)
+        farm.settle()
+        manager = FaultToleranceManager(farm.seeder,
+                                        heartbeat_interval_s=0.2,
+                                        miss_limit=2,
+                                        checkpoint_interval_s=0.2)
+        farm.run(until=farm.sim.now + 1.0)
+        victim = farm.topology.leaf_ids[0]
+        seed = next(s for s in farm.seeder.tasks["pinned"].seeds
+                    if s.switch == victim)
+        fail_switch(farm.seeder, victim)
+        farm.run(until=farm.sim.now + 2.5)
+        assert victim in manager.failed_switch_ids()
+        assert seed.seed_id in manager.parked_seeds
+        assert seed.switch is None
+        checkpoint_n = manager.checkpoint_of(
+            seed.seed_id)["machine_vars"]["n"]
+        assert checkpoint_n > 0
+        recover_switch(farm.seeder, victim)
+        farm.run(until=farm.sim.now + 1.0)
+        assert manager.recoveries_performed == 1
+        assert manager.parked_seeds == set()
+        assert seed.switch == victim
+        resumed = farm.seeder.soils[victim].deployments[seed.seed_id]
+        assert resumed.instance.machine_scope.vars["n"] >= checkpoint_n
+
+
+class TestChaosResilience:
+    """The unreliable-control-plane acceptance scenarios."""
+
+    def test_deploy_converges_under_20_percent_loss(self, farm):
+        chaos = farm.enable_chaos(seed=11)
+        chaos.lossy(0.2)
+        task = make_heavy_hitter_task(accuracy_ms=10)  # place all
+        farm.submit(task)
+        farm.run(until=farm.sim.now + 2.0)  # room for retransmissions
+        expected = len(farm.seeder.tasks["heavy-hitter"].seeds)
+        assert farm.seeder.deployed_seed_count() == expected
+        assert all(s.switch is not None
+                   for s in farm.seeder.tasks["heavy-hitter"].seeds)
+        # The bus really was lossy, yet no command was lost for good.
+        assert chaos.messages_dropped > 0
+        assert farm.seeder.lost_commands == 0
+
+    def test_lossy_but_alive_switch_never_fails_over(self, farm):
+        chaos = farm.enable_chaos(seed=23)
+        chaos.lossy(0.3)
+        farm.submit(counter_task())
+        manager = FaultToleranceManager(farm.seeder,
+                                        heartbeat_interval_s=0.2,
+                                        miss_limit=3)
+        farm.run(until=farm.sim.now + 10.0)
+        assert manager.failovers_performed == 0
+        assert manager.failed_switch_ids() == []
+        # the seed survived the whole chaotic run
+        seed = farm.seeder.tasks["counter"].seeds[0]
+        assert seed.switch is not None
+
+    def test_scripted_partition_single_failover_and_heal(self, farm):
+        chaos = farm.enable_chaos(seed=5)
+        chaos.lossy(0.1)  # background loss on top of the partition
+        farm.submit(counter_task())
+        farm.settle()
+        manager = FaultToleranceManager(farm.seeder,
+                                        heartbeat_interval_s=0.2,
+                                        miss_limit=3,
+                                        checkpoint_interval_s=0.2)
+        farm.run(until=farm.sim.now + 1.0)
+        seed = farm.seeder.tasks["counter"].seeds[0]
+        victim = seed.switch
+        chaos.partition_switch(victim, at=farm.sim.now, duration=5.0)
+        farm.run(until=farm.sim.now + 4.0)
+        # Exactly one failover: the victim (grace period passed), nobody
+        # else despite the lossy bus.
+        assert manager.failovers_performed == 1
+        assert manager.failed_switch_ids() == [victim]
+        assert seed.switch is not None and seed.switch != victim
+        resumed = farm.seeder.soils[seed.switch].deployments[seed.seed_id]
+        assert resumed.instance.machine_scope.vars["n"] > 0
+        # Partition heals: the victim recovers; still only one failover,
+        # and exactly one live copy of the seed remains (the stale
+        # split-brain copy on the victim is swept).
+        farm.run(until=farm.sim.now + 4.0)
+        assert manager.failovers_performed == 1
+        assert manager.recoveries_performed == 1
+        assert manager.failed_switch_ids() == []
+        copies = [sid for sid, soil in farm.seeder.soils.items()
+                  if seed.seed_id in soil.deployments]
+        assert len(copies) == 1
+        assert copies[0] == seed.switch
+        final = farm.seeder.soils[seed.switch].deployments[seed.seed_id]
+        assert final.instance.machine_scope.vars["n"] > 0
 
 
 class TestCrashContainment:

@@ -80,6 +80,7 @@ class TestSubmit:
         farm.settle()
         assert farm.seeder.deployed_seed_count() > 0
         farm.seeder.remove_task("ping")
+        farm.settle()  # undeploy commands travel over the bus
         assert farm.seeder.deployed_seed_count() == 0
         with pytest.raises(DeploymentError):
             farm.seeder.remove_task("ping")
