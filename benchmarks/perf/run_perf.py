@@ -1,0 +1,323 @@
+#!/usr/bin/env python
+"""Performance harness for the compiled-closure and kernel fast paths.
+
+Writes ``BENCH_perf.json`` (see ``--out``) with four measurements:
+
+* ``dispatch``   — seed-event dispatch rate, interpreted vs compiled
+                   (the tentpole claim: compiled must be >= 3x).
+* ``kernel``     — DES kernel throughput (events/sec) including a
+                   cancel-heavy mix that exercises tombstone compaction.
+* ``fig6``       — wall-clock of the Fig. 6 seed-scaling experiment under
+                   both backends, plus a check that the figure's numeric
+                   outputs are identical.
+* ``placement``  — heuristic solve time on a generated SVI-D instance.
+
+``differential_ok`` asserts interpreted and compiled traces are identical
+on a representative machine; CI gates on it.
+
+Run:  PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.almanac import codegen
+from repro.almanac.interpreter import MachineInstance, flatten_machine
+from repro.almanac.parser import parse
+from repro.eval.experiments import run_fig6_seed_scaling
+from repro.placement.heuristic import solve_heuristic
+from repro.placement.instances import generate_problem
+from repro.sim.engine import Simulator
+
+# Representative seed workload: arithmetic, a user function, list window
+# maintenance, conditionals, and an occasional report — roughly what the
+# HH / DDoS tasks do per poll event.
+BENCH_SOURCE = """
+function long weigh(long v) {
+  return v * 3 + bias + v / 4;
+}
+
+machine Bench {
+  place all;
+  external long bias;
+  time tick = 1000;
+  long total;
+  long count;
+  list window;
+
+  state run {
+    when (tick as v) do {
+      count = count + 1;
+      total = total + weigh(v);
+      append(window, v);
+      if (size(window) > 16) then {
+        remove_at(window, 0);
+      }
+      // Scan the window like getHH() scans port stats.
+      int i = 0;
+      long peak = 0;
+      while (i < size(window)) {
+        long w = get(window, i);
+        if (w > peak and w > 2) then { peak = w; }
+        i = i + 1;
+      }
+      if (count - count / 64 * 64 == 0) then {
+        send Report { .n = count, .sum = total, .peak = peak } to harvester;
+      }
+    }
+  }
+}
+"""
+
+
+class NullHost:
+    """Cheapest possible host: the benchmark must measure the seed
+    runtime, not host-side bookkeeping."""
+
+    def now(self):
+        return 0.0
+
+    def resources(self):
+        return {"vCPU": 1.0, "RAM": 256.0, "TCAM": 8.0, "PCIe": 1000.0}
+
+    def add_tcam_rule(self, rule):
+        pass
+
+    def remove_tcam_rule(self, pattern):
+        pass
+
+    def get_tcam_rule(self, pattern):
+        return None
+
+    def send_to_harvester(self, value):
+        pass
+
+    def send_to_machine(self, machine, dst, value):
+        pass
+
+    def set_trigger_interval(self, var, interval):
+        pass
+
+    def transit_hook(self, old, new):
+        pass
+
+    def exec_external(self, command, arg):
+        return 0.0
+
+    def log(self, message):
+        pass
+
+
+class TraceHost(NullHost):
+    def __init__(self):
+        self.trace = []
+
+    def send_to_harvester(self, value):
+        self.trace.append(("harvester", value))
+
+    def transit_hook(self, old, new):
+        self.trace.append(("transit", old, new))
+
+
+def _bench_instance(backend):
+    program = parse(BENCH_SOURCE)
+    compiled = flatten_machine(program, "Bench")
+    instance = MachineInstance(compiled, NullHost(), externals={"bias": 2},
+                               backend=backend)
+    instance.start()
+    return instance
+
+
+def bench_dispatch(events: int) -> dict:
+    rates = {}
+    for backend in (codegen.BACKEND_INTERPRET, codegen.BACKEND_COMPILED):
+        instance = _bench_instance(backend)
+        fire = instance.fire_trigger_var
+        # Warm up (JIT-free, but primes caches and branch history).
+        for i in range(min(1000, events)):
+            fire("tick", i)
+        start = time.perf_counter()
+        for i in range(events):
+            fire("tick", i)
+        elapsed = time.perf_counter() - start
+        rates[backend] = events / elapsed
+    return {
+        "events": events,
+        "interpreted_events_per_sec": rates[codegen.BACKEND_INTERPRET],
+        "compiled_events_per_sec": rates[codegen.BACKEND_COMPILED],
+        "speedup": rates[codegen.BACKEND_COMPILED]
+                   / rates[codegen.BACKEND_INTERPRET],
+    }
+
+
+def bench_kernel(events: int) -> dict:
+    # Self-rescheduling callbacks: the classic DES hot loop.
+    sim = Simulator()
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+        if counter["n"] < events:
+            sim.schedule_at(sim.now + 0.001, tick)
+
+    sim.schedule_at(0.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    plain = events / (time.perf_counter() - start)
+
+    # Cancel-heavy mix: schedule 4 timeouts per useful event and cancel
+    # them, stressing tombstone accounting and compaction.
+    sim = Simulator()
+    counter = {"n": 0}
+
+    def tick_with_timeouts():
+        counter["n"] += 1
+        doomed = [sim.schedule_at(sim.now + 10.0, lambda: None)
+                  for _ in range(4)]
+        for event in doomed:
+            event.cancel()
+        if counter["n"] < events:
+            sim.schedule_at(sim.now + 0.001, tick_with_timeouts)
+
+    sim.schedule_at(0.0, tick_with_timeouts)
+    start = time.perf_counter()
+    sim.run()
+    cancel_heavy = events / (time.perf_counter() - start)
+    return {
+        "events": events,
+        "events_per_sec": plain,
+        "cancel_heavy_events_per_sec": cancel_heavy,
+    }
+
+
+def bench_fig6(quick: bool) -> dict:
+    # task="ml" runs a per-poll while loop inside the machine, so the
+    # Almanac runtime dominates and the backend choice is visible in
+    # wall-clock; task="hh" seeds have an empty handler body.
+    seed_counts = (10, 20) if quick else (10, 20, 40)
+    duration = 0.5 if quick else 2.0
+    iterations = 10 if quick else 20
+    results = {}
+    outputs = {}
+    saved = os.environ.get("REPRO_INTERPRET")
+    try:
+        for label, env in (("interpreted", "1"), ("compiled", "0")):
+            os.environ["REPRO_INTERPRET"] = env
+            start = time.perf_counter()
+            points = run_fig6_seed_scaling(task="ml", seed_counts=seed_counts,
+                                           iterations=iterations,
+                                           duration_s=duration)
+            results[label] = time.perf_counter() - start
+            outputs[label] = [(p.seeds, p.cpu_load_percent,
+                               p.polling_accuracy_met) for p in points]
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_INTERPRET", None)
+        else:
+            os.environ["REPRO_INTERPRET"] = saved
+    return {
+        "task": "ml",
+        "seed_counts": list(seed_counts),
+        "iterations": iterations,
+        "duration_s": duration,
+        "interpreted_wall_s": results["interpreted"],
+        "compiled_wall_s": results["compiled"],
+        "speedup": results["interpreted"] / results["compiled"],
+        "outputs_identical": outputs["interpreted"] == outputs["compiled"],
+    }
+
+
+def bench_placement(quick: bool) -> dict:
+    num_seeds = 300 if quick else 2000
+    num_switches = 60 if quick else 300
+    problem = generate_problem(num_seeds, num_switches, seed=7)
+    start = time.perf_counter()
+    result = solve_heuristic(problem)
+    elapsed = time.perf_counter() - start
+    return {
+        "num_seeds": num_seeds,
+        "num_switches": num_switches,
+        "solve_s": elapsed,
+        "utility": result.objective,
+        "placed": len(result.placement),
+    }
+
+
+def differential_check() -> bool:
+    """Both backends must produce identical traces on the bench machine."""
+    traces = {}
+    for backend in (codegen.BACKEND_INTERPRET, codegen.BACKEND_COMPILED):
+        program = parse(BENCH_SOURCE)
+        compiled = flatten_machine(program, "Bench")
+        host = TraceHost()
+        instance = MachineInstance(compiled, host, externals={"bias": 2},
+                                   backend=backend)
+        instance.start()
+        for i in range(500):
+            instance.fire_trigger_var("tick", i)
+        traces[backend] = (host.trace, instance.snapshot(),
+                           instance.events_handled)
+    return traces[codegen.BACKEND_INTERPRET] == traces[codegen.BACKEND_COMPILED]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads for CI smoke runs")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: <repo>/BENCH_perf.json)")
+    args = parser.parse_args()
+
+    dispatch_events = 20_000 if args.quick else 100_000
+    kernel_events = 20_000 if args.quick else 200_000
+
+    report = {
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "differential_ok": differential_check(),
+        "dispatch": bench_dispatch(dispatch_events),
+        "kernel": bench_kernel(kernel_events),
+        "fig6": bench_fig6(args.quick),
+        "placement": bench_placement(args.quick),
+    }
+
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parents[2] / "BENCH_perf.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    d = report["dispatch"]
+    print(f"differential_ok: {report['differential_ok']}")
+    print(f"dispatch: interpreted {d['interpreted_events_per_sec']:,.0f} ev/s"
+          f", compiled {d['compiled_events_per_sec']:,.0f} ev/s"
+          f"  ({d['speedup']:.2f}x)")
+    k = report["kernel"]
+    print(f"kernel: {k['events_per_sec']:,.0f} ev/s plain, "
+          f"{k['cancel_heavy_events_per_sec']:,.0f} ev/s cancel-heavy")
+    f6 = report["fig6"]
+    print(f"fig6: interpreted {f6['interpreted_wall_s']:.2f}s, compiled "
+          f"{f6['compiled_wall_s']:.2f}s ({f6['speedup']:.2f}x), "
+          f"outputs identical: {f6['outputs_identical']}")
+    p = report["placement"]
+    print(f"placement: {p['num_seeds']} seeds / {p['num_switches']} switches "
+          f"solved in {p['solve_s']:.2f}s (utility {p['utility']:.1f})")
+    print(f"wrote {out}")
+
+    if not report["differential_ok"]:
+        print("FAIL: backends diverged", file=sys.stderr)
+        return 1
+    if not f6["outputs_identical"]:
+        print("FAIL: fig6 outputs differ between backends", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

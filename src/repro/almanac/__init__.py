@@ -10,6 +10,13 @@ from repro.almanac.analysis import (
     encode_polling_subjects,
     resolve_placements,
 )
+from repro.almanac.codegen import (
+    BACKEND_COMPILED,
+    BACKEND_INTERPRET,
+    MachineCode,
+    compile_closures,
+    default_backend,
+)
 from repro.almanac.compiler import (
     MachineBlueprint,
     compile_machine,
@@ -51,6 +58,8 @@ __all__ = [
     "ConstEnv", "PollVarInfo", "ResolvedSeedSite", "analyze_poll_var",
     "analyze_util", "const_eval", "encode_polling_subjects",
     "resolve_placements",
+    "BACKEND_COMPILED", "BACKEND_INTERPRET", "MachineCode",
+    "compile_closures", "default_backend",
     "MachineBlueprint", "compile_machine", "compile_source",
     "CompiledMachine", "CompiledState", "MachineInstance", "flatten_machine",
     "parse", "parse_machine",

@@ -1,0 +1,867 @@
+"""Closure-compilation backend for Almanac (the seed fast path).
+
+The tree-walking interpreter in :mod:`repro.almanac.interpreter` sits in the
+innermost simulation loop: every trigger firing re-walks the AST, resolves
+variables through a scope chain, and re-dispatches on node types.  This
+module lowers a :class:`~repro.almanac.interpreter.CompiledMachine` once,
+at deployment, into pre-bound Python closures:
+
+* **constant folding** — literal subtrees collapse to constants at compile
+  time (with the interpreter's exact arithmetic semantics);
+* **pre-resolved variable slots** — event/function locals live in a flat
+  Python list indexed by compile-time slot numbers; state and machine
+  variables compile to a single dict access on the instance's pinned
+  ``_svars``/``_mvars`` dicts instead of a scope-chain walk;
+* **pre-compiled trigger dispatch tables** — each state carries its
+  handlers keyed by ``(state, trigger_signature)``: enter/exit/realloc
+  lists, a ``var -> handlers`` dict for poll/probe/time triggers, and an
+  ordered recv table, so firing a trigger is a dict lookup, not a predicate
+  scan over every event.
+
+The interpreter remains the reference implementation: both backends are
+driven through the same :class:`MachineInstance` entry points, selected by
+the ``backend`` constructor argument or the ``REPRO_INTERPRET=1``
+environment escape hatch, and a differential test asserts byte-identical
+traces.  Machine and state variables stay in the interpreter's dict-backed
+scopes so snapshot/restore (migration) and crash-restart introspection are
+backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.almanac import astnodes as ast
+from repro.almanac.interpreter import (
+    MAX_LOOP_ITERATIONS,
+    MAX_TRANSIT_CHAIN,
+    CompiledMachine,
+    _default_value,
+    _field,
+    _ReturnSignal,
+    _Scope,
+    _truthy,
+    _value_matches_type,
+)
+from repro.errors import AlmanacRuntimeError
+from repro.net import filters as flt
+from repro.net.addresses import Prefix
+
+BACKEND_COMPILED = "compiled"
+BACKEND_INTERPRET = "interpret"
+
+#: Frame shared by code regions that declare no locals.
+_EMPTY_FRAME: List[Any] = []
+
+_NOT_CONST = object()
+
+
+def default_backend() -> str:
+    """Backend selection: compiled unless ``REPRO_INTERPRET`` is truthy."""
+    flag = os.environ.get("REPRO_INTERPRET", "").strip().lower()
+    if flag and flag not in ("0", "false", "no", "off"):
+        return BACKEND_INTERPRET
+    return BACKEND_COMPILED
+
+
+# ---------------------------------------------------------------------------
+# Compiled artifacts
+# ---------------------------------------------------------------------------
+
+
+class _Function:
+    """A user ``fundec`` lowered to slot-addressed closures."""
+
+    __slots__ = ("name", "nparams", "nslots", "body")
+
+    def __init__(self, name: str, nparams: int) -> None:
+        self.name = name
+        self.nparams = nparams
+        self.nslots = nparams
+        self.body: Tuple[Callable, ...] = ()
+
+    def invoke(self, rt: Any, args: List[Any]) -> Any:
+        if len(args) != self.nparams:
+            raise AlmanacRuntimeError(
+                f"{self.name}() takes {self.nparams} arguments, "
+                f"got {len(args)}")
+        frame = [None] * self.nslots
+        frame[:len(args)] = args
+        try:
+            for stmt in self.body:
+                stmt(rt, frame)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+
+class _Handler:
+    """One event body: locals frame size, trigger binding slot, statements."""
+
+    __slots__ = ("nslots", "bind_slot", "body")
+
+    def __init__(self, nslots: int, bind_slot: Optional[int],
+                 body: Tuple[Callable, ...]) -> None:
+        self.nslots = nslots
+        self.bind_slot = bind_slot
+        self.body = body
+
+
+class _StateCode:
+    """Per-state dispatch tables keyed by trigger signature."""
+
+    __slots__ = ("name", "var_inits", "enter", "exit", "realloc",
+                 "var_handlers", "recv_handlers")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.var_inits: Tuple[Tuple[str, Callable], ...] = ()
+        self.enter: Tuple[_Handler, ...] = ()
+        self.exit: Tuple[_Handler, ...] = ()
+        self.realloc: Tuple[_Handler, ...] = ()
+        self.var_handlers: Dict[str, Tuple[_Handler, ...]] = {}
+        self.recv_handlers: Tuple[Tuple[str, str, _Handler], ...] = ()
+
+
+class MachineCode:
+    """A fully lowered machine, shared by every instance of it."""
+
+    __slots__ = ("machine_name", "trigger_names", "functions", "states")
+
+    def __init__(self, machine_name: str) -> None:
+        self.machine_name = machine_name
+        self.trigger_names: frozenset = frozenset()
+        self.functions: Dict[str, _Function] = {}
+        self.states: Dict[str, _StateCode] = {}
+
+
+# ---------------------------------------------------------------------------
+# Compile-time symbol table
+# ---------------------------------------------------------------------------
+
+
+class _Ctx:
+    """Lexical context for one executable region (handler/function/init).
+
+    Locals get monotonically increasing frame slots; block scoping only
+    affects visibility, mirroring the interpreter's nested ``_Scope``s.
+    """
+
+    __slots__ = ("code", "machine_vars", "state_vars", "scopes", "nslots")
+
+    def __init__(self, code: MachineCode, machine_vars: frozenset,
+                 state_vars: frozenset) -> None:
+        self.code = code
+        self.machine_vars = machine_vars
+        self.state_vars = state_vars
+        self.scopes: List[Dict[str, int]] = [{}]
+        self.nslots = 0
+
+    def push_block(self) -> None:
+        self.scopes.append({})
+
+    def pop_block(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str) -> int:
+        slot = self.nslots
+        self.nslots += 1
+        self.scopes[-1][name] = slot
+        return slot
+
+    def resolve(self, name: str) -> Tuple[Optional[str], Any]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return "local", scope[name]
+        if name in self.state_vars:
+            return "state", name
+        if name in self.machine_vars:
+            return "machine", name
+        return None, name
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+
+
+def _const(value: Any) -> Callable:
+    def lit(rt, frame):
+        return value
+    lit._const_value = value
+    return lit
+
+
+def _const_of(fn: Callable) -> Any:
+    return getattr(fn, "_const_value", _NOT_CONST)
+
+
+_ARITH_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add, "-": operator.sub, "*": operator.mul,
+    "==": operator.eq, "<>": operator.ne, "<=": operator.le,
+    ">=": operator.ge, "<": operator.lt, ">": operator.gt,
+}
+
+_FILTER_ATOMS: Dict[str, Callable] = {
+    "port": flt.SwitchPortFilter,
+    "srcPort": flt.SrcPortFilter,
+    "dstPort": flt.DstPortFilter,
+    "proto": flt.ProtoFilter,
+    "tcpFlags": flt.TcpFlagsFilter,
+}
+
+
+def _sem_div(left: Any, right: Any, line: int) -> Any:
+    """The interpreter's ``/``: exact-int division stays integral."""
+    if right == 0:
+        raise AlmanacRuntimeError(f"division by zero (line {line})")
+    if isinstance(left, int) and isinstance(right, int):
+        return left // right if left % right == 0 else left / right
+    return left / right
+
+
+def _compile_load(name: str, ctx: _Ctx) -> Callable:
+    kind, ref = ctx.resolve(name)
+    if kind == "local":
+        slot = ref
+
+        def load_local(rt, frame):
+            return frame[slot]
+        return load_local
+    if kind == "state":
+        def load_state(rt, frame):
+            try:
+                return rt._svars[name]
+            except KeyError:
+                raise AlmanacRuntimeError(
+                    f"undefined variable {name!r}") from None
+        return load_state
+    if kind == "machine":
+        def load_machine(rt, frame):
+            try:
+                return rt._mvars[name]
+            except KeyError:
+                raise AlmanacRuntimeError(
+                    f"undefined variable {name!r}") from None
+        return load_machine
+
+    def load_missing(rt, frame):
+        raise AlmanacRuntimeError(f"undefined variable {name!r}")
+    return load_missing
+
+
+def _compile_expr(expr: ast.Expr, ctx: _Ctx) -> Callable:
+    if isinstance(expr, ast.Lit):
+        return _const(expr.value)
+    if isinstance(expr, ast.AnyLit):
+        return _const(flt.ANY_PORT)
+    if isinstance(expr, ast.Var):
+        return _compile_load(expr.name, ctx)
+    if isinstance(expr, ast.ListLit):
+        item_fns = tuple(_compile_expr(item, ctx) for item in expr.items)
+
+        def list_lit(rt, frame):
+            return [fn(rt, frame) for fn in item_fns]
+        return list_lit
+    if isinstance(expr, ast.StructLit):
+        struct_name = expr.struct
+        pairs = tuple((name, _compile_expr(value, ctx))
+                      for name, value in expr.fields)
+
+        def struct_lit(rt, frame):
+            value = {"__struct__": struct_name}
+            for fname, fn in pairs:
+                value[fname] = fn(rt, frame)
+            return value
+        return struct_lit
+    if isinstance(expr, ast.FieldAccess):
+        obj_fn = _compile_expr(expr.obj, ctx)
+        fieldname = expr.fieldname
+        line = expr.line
+
+        def field_access(rt, frame):
+            obj = obj_fn(rt, frame)
+            if type(obj) is dict:
+                try:
+                    return obj[fieldname]
+                except KeyError:
+                    raise AlmanacRuntimeError(
+                        f"struct has no field {fieldname!r} "
+                        f"(line {line})") from None
+            return _field(obj, fieldname, line)
+        return field_access
+    if isinstance(expr, ast.FilterAtom):
+        return _compile_filter_atom(expr, ctx)
+    if isinstance(expr, ast.UnaryOp):
+        return _compile_unary(expr, ctx)
+    if isinstance(expr, ast.BinOp):
+        return _compile_binop(expr, ctx)
+    if isinstance(expr, ast.Call):
+        return _compile_call(expr, ctx)
+
+    def cannot_eval(rt, frame):
+        raise AlmanacRuntimeError(f"cannot evaluate {expr!r}")
+    return cannot_eval
+
+
+def _compile_filter_atom(expr: ast.FilterAtom, ctx: _Ctx) -> Callable:
+    arg_fn = _compile_expr(expr.arg, ctx)
+    kind = expr.kind
+    if kind in ("srcIP", "dstIP"):
+        cls = flt.SrcIpFilter if kind == "srcIP" else flt.DstIpFilter
+
+        def ip_atom(rt, frame):
+            arg = arg_fn(rt, frame)
+            prefix = (Prefix.parse(arg) if isinstance(arg, str)
+                      else Prefix.host(int(arg)))
+            return cls(prefix)
+        return ip_atom
+    cls = _FILTER_ATOMS.get(kind)
+    if cls is None:
+        def bad_atom(rt, frame):
+            arg_fn(rt, frame)
+            raise AlmanacRuntimeError(f"unknown filter atom {kind!r}")
+        return bad_atom
+
+    def atom(rt, frame):
+        return cls(int(arg_fn(rt, frame)))
+    return atom
+
+
+def _compile_unary(expr: ast.UnaryOp, ctx: _Ctx) -> Callable:
+    operand_fn = _compile_expr(expr.operand, ctx)
+    op = expr.op
+    if op == "not":
+        value = _const_of(operand_fn)
+        if value is not _NOT_CONST and not isinstance(value, flt.Filter):
+            return _const(not _truthy(value))
+
+        def not_fn(rt, frame):
+            value = operand_fn(rt, frame)
+            if isinstance(value, flt.Filter):
+                return flt.NotFilter(value)
+            return not _truthy(value)
+        return not_fn
+    if op == "-":
+        value = _const_of(operand_fn)
+        if value is not _NOT_CONST:
+            try:
+                return _const(-value)
+            except Exception:
+                pass
+
+        def neg(rt, frame):
+            return -operand_fn(rt, frame)
+        return neg
+
+    def bad_unary(rt, frame):
+        operand_fn(rt, frame)
+        raise AlmanacRuntimeError(f"unknown unary op {op!r}")
+    return bad_unary
+
+
+def _compile_binop(expr: ast.BinOp, ctx: _Ctx) -> Callable:
+    op = expr.op
+    left_fn = _compile_expr(expr.left, ctx)
+    right_fn = _compile_expr(expr.right, ctx)
+    line = expr.line
+    if op == "and":
+        left_const = _const_of(left_fn)
+        if (left_const is not _NOT_CONST
+                and not isinstance(left_const, flt.Filter)):
+            if not _truthy(left_const):
+                return _const(False)
+            right_const = _const_of(right_fn)
+            if (right_const is not _NOT_CONST
+                    and not isinstance(right_const, flt.Filter)):
+                return _const(_truthy(right_const))
+
+            def and_rhs(rt, frame):
+                return _truthy(right_fn(rt, frame))
+            return and_rhs
+
+        def and_fn(rt, frame):
+            left = left_fn(rt, frame)
+            if isinstance(left, flt.Filter):
+                return flt.and_(left, right_fn(rt, frame))
+            if not _truthy(left):
+                return False
+            return _truthy(right_fn(rt, frame))
+        return and_fn
+    if op == "or":
+        left_const = _const_of(left_fn)
+        if (left_const is not _NOT_CONST
+                and not isinstance(left_const, flt.Filter)):
+            if _truthy(left_const):
+                return _const(True)
+            right_const = _const_of(right_fn)
+            if (right_const is not _NOT_CONST
+                    and not isinstance(right_const, flt.Filter)):
+                return _const(_truthy(right_const))
+
+            def or_rhs(rt, frame):
+                return _truthy(right_fn(rt, frame))
+            return or_rhs
+
+        def or_fn(rt, frame):
+            left = left_fn(rt, frame)
+            if isinstance(left, flt.Filter):
+                return flt.or_(left, right_fn(rt, frame))
+            if _truthy(left):
+                return True
+            return _truthy(right_fn(rt, frame))
+        return or_fn
+    if op == "/":
+        left_const, right_const = _const_of(left_fn), _const_of(right_fn)
+        if left_const is not _NOT_CONST and right_const is not _NOT_CONST:
+            try:
+                return _const(_sem_div(left_const, right_const, line))
+            except Exception:
+                pass  # keep the runtime closure so errors fire at eval time
+
+        def div(rt, frame):
+            left = left_fn(rt, frame)
+            right = right_fn(rt, frame)
+            try:
+                return _sem_div(left, right, line)
+            except AlmanacRuntimeError:
+                raise
+            except TypeError as exc:
+                raise AlmanacRuntimeError(
+                    f"type error in {op!r} (line {line}): {exc}") from None
+        return div
+    op_fn = _ARITH_OPS.get(op)
+    if op_fn is None:
+        def bad_binop(rt, frame):
+            left_fn(rt, frame)
+            right_fn(rt, frame)
+            raise AlmanacRuntimeError(f"unknown operator {op!r}")
+        return bad_binop
+    left_const, right_const = _const_of(left_fn), _const_of(right_fn)
+    if left_const is not _NOT_CONST and right_const is not _NOT_CONST:
+        try:
+            return _const(op_fn(left_const, right_const))
+        except Exception:
+            pass
+
+    def binop(rt, frame):
+        left = left_fn(rt, frame)
+        right = right_fn(rt, frame)
+        try:
+            return op_fn(left, right)
+        except TypeError as exc:
+            raise AlmanacRuntimeError(
+                f"type error in {op!r} (line {line}): {exc}") from None
+    return binop
+
+
+def _compile_call(expr: ast.Call, ctx: _Ctx) -> Callable:
+    arg_fns = tuple(_compile_expr(arg, ctx) for arg in expr.args)
+    name = expr.func
+    line = expr.line
+    function = ctx.code.functions.get(name)
+    if function is not None:
+        def call_function(rt, frame):
+            return function.invoke(rt, [fn(rt, frame) for fn in arg_fns])
+        return call_function
+
+    def call_builtin(rt, frame):
+        args = [fn(rt, frame) for fn in arg_fns]
+        builtin = rt.builtins.get(name)
+        if builtin is None:
+            raise AlmanacRuntimeError(
+                f"unknown function {name!r} (line {line})")
+        try:
+            return builtin(*args)
+        except AlmanacRuntimeError:
+            raise
+        except Exception as exc:
+            raise AlmanacRuntimeError(
+                f"builtin {name}() failed (line {line}): {exc}") from exc
+    return call_builtin
+
+
+# ---------------------------------------------------------------------------
+# Statement lowering
+# ---------------------------------------------------------------------------
+
+
+def _compile_stmt(stmt: ast.Stmt, ctx: _Ctx) -> Callable:
+    if isinstance(stmt, ast.Assign):
+        return _compile_assign(stmt, ctx)
+    if isinstance(stmt, ast.VarDecl):
+        # Compile the initializer before declaring so the init sees the
+        # *outer* binding of a shadowed name, as the interpreter does.
+        init_fn = (_compile_expr(stmt.init, ctx)
+                   if stmt.init is not None else None)
+        slot = ctx.declare(stmt.name)
+        if init_fn is not None:
+            def declare_init(rt, frame):
+                frame[slot] = init_fn(rt, frame)
+            return declare_init
+        if stmt.typ == "list":
+            def declare_list(rt, frame):
+                frame[slot] = []
+            return declare_list
+        default = _default_value(stmt.typ)
+
+        def declare_default(rt, frame):
+            frame[slot] = default
+        return declare_default
+    if isinstance(stmt, ast.If):
+        cond_fn = _compile_expr(stmt.cond, ctx)
+        ctx.push_block()
+        then_body = tuple(_compile_stmt(s, ctx) for s in stmt.then_body)
+        ctx.pop_block()
+        ctx.push_block()
+        else_body = tuple(_compile_stmt(s, ctx) for s in stmt.else_body)
+        ctx.pop_block()
+        cond_const = _const_of(cond_fn)
+        if cond_const is not _NOT_CONST:
+            taken = then_body if _truthy(cond_const) else else_body
+
+            def run_taken(rt, frame):
+                for s in taken:
+                    s(rt, frame)
+            return run_taken
+        if else_body:
+            def if_else(rt, frame):
+                if _truthy(cond_fn(rt, frame)):
+                    for s in then_body:
+                        s(rt, frame)
+                else:
+                    for s in else_body:
+                        s(rt, frame)
+            return if_else
+
+        def if_only(rt, frame):
+            if _truthy(cond_fn(rt, frame)):
+                for s in then_body:
+                    s(rt, frame)
+        return if_only
+    if isinstance(stmt, ast.While):
+        cond_fn = _compile_expr(stmt.cond, ctx)
+        ctx.push_block()
+        body = tuple(_compile_stmt(s, ctx) for s in stmt.body)
+        ctx.pop_block()
+        line = stmt.line
+
+        def while_loop(rt, frame):
+            iterations = 0
+            while _truthy(cond_fn(rt, frame)):
+                iterations += 1
+                if iterations > MAX_LOOP_ITERATIONS:
+                    raise AlmanacRuntimeError(
+                        f"while loop exceeded {MAX_LOOP_ITERATIONS} "
+                        f"iterations (line {line})")
+                for s in body:
+                    s(rt, frame)
+        return while_loop
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            def return_none(rt, frame):
+                raise _ReturnSignal(None)
+            return return_none
+        value_fn = _compile_expr(stmt.value, ctx)
+
+        def return_value(rt, frame):
+            raise _ReturnSignal(value_fn(rt, frame))
+        return return_value
+    if isinstance(stmt, ast.Transit):
+        target = stmt.state
+
+        def transit(rt, frame):
+            rt._transit(target)
+        return transit
+    if isinstance(stmt, ast.Send):
+        value_fn = _compile_expr(stmt.value, ctx)
+        if stmt.dest_machine == "":
+            def send_harvester(rt, frame):
+                rt.host.send_to_harvester(value_fn(rt, frame))
+            return send_harvester
+        machine = stmt.dest_machine
+        dest_fn = (_compile_expr(stmt.dest_host, ctx)
+                   if stmt.dest_host is not None else None)
+
+        def send_machine(rt, frame):
+            value = value_fn(rt, frame)
+            dst = dest_fn(rt, frame) if dest_fn is not None else None
+            rt.host.send_to_machine(machine, dst, value)
+        return send_machine
+    if isinstance(stmt, ast.ExprStmt):
+        # Statement executors ignore return values, so the expression
+        # closure doubles as the statement closure.
+        return _compile_expr(stmt.expr, ctx)
+
+    def unknown_stmt(rt, frame):
+        raise AlmanacRuntimeError(f"unknown statement {stmt!r}")
+    return unknown_stmt
+
+
+def _compile_assign(stmt: ast.Assign, ctx: _Ctx) -> Callable:
+    name = stmt.target
+    value_fn = _compile_expr(stmt.value, ctx)
+    # The interpreter re-arms timers on *any* assignment to a trigger
+    # variable's name, regardless of which scope the write lands in.
+    is_trigger = name in ctx.code.trigger_names
+    if stmt.fieldname is not None:
+        fieldname = stmt.fieldname
+        line = stmt.line
+        load_fn = _compile_load(name, ctx)
+
+        def assign_field(rt, frame):
+            value = value_fn(rt, frame)
+            target = load_fn(rt, frame)
+            if isinstance(target, dict):
+                target[fieldname] = value
+            else:
+                raise AlmanacRuntimeError(
+                    f"cannot assign field {fieldname!r} on "
+                    f"{type(target).__name__} (line {line})")
+            if is_trigger:
+                rt._after_trigger_update(name, target)
+        return assign_field
+    kind, ref = ctx.resolve(name)
+    if kind == "local":
+        slot = ref
+        if is_trigger:
+            def assign_local_trigger(rt, frame):
+                value = value_fn(rt, frame)
+                frame[slot] = value
+                rt._after_trigger_update(name, value)
+            return assign_local_trigger
+
+        def assign_local(rt, frame):
+            frame[slot] = value_fn(rt, frame)
+        return assign_local
+    if kind == "state":
+        if is_trigger:
+            def assign_state_trigger(rt, frame):
+                value = value_fn(rt, frame)
+                rt._svars[name] = value
+                rt._after_trigger_update(name, value)
+            return assign_state_trigger
+
+        def assign_state(rt, frame):
+            rt._svars[name] = value_fn(rt, frame)
+        return assign_state
+    if kind == "machine":
+        if is_trigger:
+            def assign_machine_trigger(rt, frame):
+                value = value_fn(rt, frame)
+                rt._mvars[name] = value
+                rt._after_trigger_update(name, value)
+            return assign_machine_trigger
+
+        def assign_machine(rt, frame):
+            rt._mvars[name] = value_fn(rt, frame)
+        return assign_machine
+
+    def assign_missing(rt, frame):
+        value_fn(rt, frame)
+        raise AlmanacRuntimeError(
+            f"assignment to undeclared variable {name!r}")
+    return assign_missing
+
+
+# ---------------------------------------------------------------------------
+# Machine lowering
+# ---------------------------------------------------------------------------
+
+
+def _default_closure(typ: str) -> Callable:
+    if typ == "list":
+        def fresh_list(rt, frame):
+            return []
+        return fresh_list
+    return _const(_default_value(typ))
+
+
+def _trigger_in_state_raiser(name: str, state: str) -> Callable:
+    def raise_trigger_in_state(rt, frame):
+        raise AlmanacRuntimeError(
+            "trigger variables must be machine-level "
+            f"({name!r} in state {state!r})")
+    return raise_trigger_in_state
+
+
+def _compile_handler(event: ast.Event, code: MachineCode,
+                     machine_vars: frozenset,
+                     state_vars: frozenset) -> _Handler:
+    ctx = _Ctx(code, machine_vars, state_vars)
+    bind_slot: Optional[int] = None
+    trigger = event.trigger
+    if isinstance(trigger, ast.VarTrigger) and trigger.bind:
+        bind_slot = ctx.declare(trigger.bind)
+    elif isinstance(trigger, ast.RecvTrigger):
+        bind_slot = ctx.declare(trigger.pat_name)
+    body = tuple(_compile_stmt(s, ctx) for s in event.actions)
+    return _Handler(ctx.nslots, bind_slot, body)
+
+
+def compile_closures(compiled: CompiledMachine) -> MachineCode:
+    """Lower ``compiled`` to closures; cached on the machine object so every
+    instance of the same flattened machine shares one compilation."""
+    code = getattr(compiled, "_closure_code", None)
+    if code is not None:
+        return code
+    code = MachineCode(compiled.name)
+    code.trigger_names = frozenset(d.name for d in compiled.trigger_decls)
+    machine_vars = frozenset(d.name for d in compiled.var_decls)
+
+    # Two passes over functions so mutually recursive calls resolve.
+    for fname, fdecl in compiled.functions.items():
+        code.functions[fname] = _Function(fname, len(fdecl.params))
+    for fname, fdecl in compiled.functions.items():
+        function = code.functions[fname]
+        ctx = _Ctx(code, machine_vars, frozenset())
+        for _typ, pname in fdecl.params:
+            ctx.declare(pname)
+        function.body = tuple(_compile_stmt(s, ctx) for s in fdecl.body)
+        function.nslots = ctx.nslots
+
+    for sname, state in compiled.states.items():
+        state_code = _StateCode(sname)
+        visible: set = set()
+        inits: List[Tuple[str, Callable]] = []
+        for decl in state.var_decls:
+            if decl.is_trigger:
+                # The interpreter rejects this on state entry; emit a
+                # raiser in declaration order so earlier inits still run.
+                inits.append((decl.name,
+                              _trigger_in_state_raiser(decl.name, sname)))
+                continue
+            ctx = _Ctx(code, machine_vars, frozenset(visible))
+            if decl.init is not None:
+                init_fn = _compile_expr(decl.init, ctx)
+            else:
+                init_fn = _default_closure(decl.typ)
+            inits.append((decl.name, init_fn))
+            visible.add(decl.name)
+        state_code.var_inits = tuple(inits)
+
+        state_vars = frozenset(
+            d.name for d in state.var_decls if not d.is_trigger)
+        enter: List[_Handler] = []
+        exit_: List[_Handler] = []
+        realloc: List[_Handler] = []
+        var_handlers: Dict[str, List[_Handler]] = {}
+        recv: List[Tuple[str, str, _Handler]] = []
+        for event in state.events:
+            handler = _compile_handler(event, code, machine_vars, state_vars)
+            trigger = event.trigger
+            if isinstance(trigger, ast.EnterTrigger):
+                enter.append(handler)
+            elif isinstance(trigger, ast.ExitTrigger):
+                exit_.append(handler)
+            elif isinstance(trigger, ast.ReallocTrigger):
+                realloc.append(handler)
+            elif isinstance(trigger, ast.VarTrigger):
+                var_handlers.setdefault(trigger.var, []).append(handler)
+            elif isinstance(trigger, ast.RecvTrigger):
+                recv.append((trigger.source, trigger.pat_type, handler))
+        state_code.enter = tuple(enter)
+        state_code.exit = tuple(exit_)
+        state_code.realloc = tuple(realloc)
+        state_code.var_handlers = {
+            var: tuple(handlers) for var, handlers in var_handlers.items()}
+        state_code.recv_handlers = tuple(recv)
+        code.states[sname] = state_code
+
+    compiled._closure_code = code
+    return code
+
+
+# ---------------------------------------------------------------------------
+# Fast-path runtime (driven by MachineInstance)
+# ---------------------------------------------------------------------------
+
+
+def _run_handlers(rt: Any, handlers: Tuple[_Handler, ...],
+                  data: Any) -> bool:
+    """Execute handlers with the interpreter's dispatch semantics: count
+    every executed event, swallow top-level returns, stop delivering once a
+    handler transits away from the dispatching state."""
+    handled = False
+    state_at_entry = rt.current_state
+    for handler in handlers:
+        handled = True
+        rt.events_handled += 1
+        nslots = handler.nslots
+        frame = [None] * nslots if nslots else _EMPTY_FRAME
+        bind_slot = handler.bind_slot
+        if bind_slot is not None:
+            frame[bind_slot] = data
+        try:
+            for stmt in handler.body:
+                stmt(rt, frame)
+        except _ReturnSignal:
+            pass
+        if rt.current_state != state_at_entry:
+            break
+    return handled
+
+
+def enter_state(rt: Any, name: str) -> None:
+    """Compiled counterpart of ``MachineInstance._enter_state``."""
+    state_code = rt._code.states[name]
+    scope = _Scope(rt.machine_scope)
+    rt.state_scope = scope
+    svars = scope.vars
+    rt._svars = svars
+    for vname, init_fn in state_code.var_inits:
+        svars[vname] = init_fn(rt, _EMPTY_FRAME)
+    _run_handlers(rt, state_code.enter, None)
+
+
+def fire_exit(rt: Any) -> bool:
+    return _run_handlers(rt, rt._code.states[rt.current_state].exit, None)
+
+
+def fire_realloc(rt: Any) -> bool:
+    return _run_handlers(rt, rt._code.states[rt.current_state].realloc, None)
+
+
+def fire_var(rt: Any, var: str, data: Any) -> bool:
+    handlers = rt._code.states[rt.current_state].var_handlers.get(var)
+    if not handlers:
+        return False
+    return _run_handlers(rt, handlers, data)
+
+
+def fire_recv(rt: Any, value: Any, source_machine: str) -> bool:
+    state_code = rt._code.states[rt.current_state]
+    handled = False
+    state_at_entry = rt.current_state
+    for source, pat_type, handler in state_code.recv_handlers:
+        if source != source_machine:
+            continue
+        if not _value_matches_type(value, pat_type):
+            continue
+        handled = True
+        rt.events_handled += 1
+        nslots = handler.nslots
+        frame = [None] * nslots if nslots else _EMPTY_FRAME
+        if handler.bind_slot is not None:
+            frame[handler.bind_slot] = value
+        try:
+            for stmt in handler.body:
+                stmt(rt, frame)
+        except _ReturnSignal:
+            pass
+        if rt.current_state != state_at_entry:
+            break
+    return handled
+
+
+__all__ = [
+    "BACKEND_COMPILED", "BACKEND_INTERPRET", "MachineCode",
+    "compile_closures", "default_backend",
+    "enter_state", "fire_exit", "fire_realloc", "fire_recv", "fire_var",
+]
+
+# MAX_TRANSIT_CHAIN is re-exported for callers that introspect limits of
+# the compiled runtime; transits themselves route through the instance.
+_ = MAX_TRANSIT_CHAIN

@@ -8,7 +8,7 @@ calling the ``fire_*`` methods when triggers occur.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.almanac import astnodes as ast
@@ -27,6 +27,18 @@ MAX_LOOP_ITERATIONS = 1_000_000
 
 #: Cap on chained ``transit`` calls within one event dispatch.
 MAX_TRANSIT_CHAIN = 64
+
+# The closure-compilation backend (repro.almanac.codegen) imports this
+# module for shared semantics helpers, so it is imported lazily here.
+_codegen = None
+
+
+def _get_codegen():
+    global _codegen
+    if _codegen is None:
+        from repro.almanac import codegen
+        _codegen = codegen
+    return _codegen
 
 _TYPE_DEFAULTS: Dict[str, Any] = {
     "bool": False, "int": 0, "long": 0, "float": 0.0, "string": "",
@@ -207,7 +219,7 @@ class MachineInstance:
                  externals: Optional[Mapping[str, Any]] = None,
                  instance_id: str = "",
                  extra_builtins: Optional[Mapping[str, Callable[..., Any]]]
-                 = None) -> None:
+                 = None, backend: Optional[str] = None) -> None:
         self.compiled = compiled
         self.host = host
         self.instance_id = instance_id or compiled.name
@@ -218,11 +230,25 @@ class MachineInstance:
             self.builtins.update(extra_builtins)
         self.machine_scope = _Scope()
         self.state_scope = _Scope(self.machine_scope)
+        # Pinned references to the scope dicts: the compiled backend reads
+        # and writes variables through these instead of walking the chain.
+        self._mvars = self.machine_scope.vars
+        self._svars = self.state_scope.vars
         self.current_state = compiled.initial_state
         self.transitions = 0
         self.events_handled = 0
         self._transit_depth = 0
         self._started = False
+        codegen = _get_codegen()
+        if backend is None:
+            backend = codegen.default_backend()
+        if backend == codegen.BACKEND_COMPILED:
+            self._code = codegen.compile_closures(compiled)
+        elif backend == codegen.BACKEND_INTERPRET:
+            self._code = None
+        else:
+            raise AlmanacRuntimeError(f"unknown backend {backend!r}")
+        self.backend = backend
         externals = dict(externals or {})
         self._init_machine_vars(externals)
 
@@ -283,8 +309,12 @@ class MachineInstance:
         return self.compiled.states[self.current_state]
 
     def _enter_state(self, name: str) -> None:
+        if self._code is not None:
+            _get_codegen().enter_state(self, name)
+            return
         state = self.compiled.states[name]
         self.state_scope = _Scope(self.machine_scope)
+        self._svars = self.state_scope.vars
         for decl in state.var_decls:
             if decl.is_trigger:
                 raise AlmanacRuntimeError(
@@ -306,7 +336,10 @@ class MachineInstance:
                 f"(cycle between states?)")
         try:
             old_state = self.current_state
-            self._dispatch(lambda t: isinstance(t, ast.ExitTrigger), {})
+            if self._code is not None:
+                _get_codegen().fire_exit(self)
+            else:
+                self._dispatch(lambda t: isinstance(t, ast.ExitTrigger), {})
             self.current_state = new_state
             self.transitions += 1
             self.host.transit_hook(old_state, new_state)
@@ -319,6 +352,9 @@ class MachineInstance:
     # ------------------------------------------------------------------
     def fire_trigger_var(self, var: str, data: Any) -> bool:
         """A poll/probe/time variable fired; returns True if handled."""
+        if self._code is not None:
+            return _get_codegen().fire_var(self, var, data)
+
         def matches(trigger: ast.Trigger) -> bool:
             return isinstance(trigger, ast.VarTrigger) and trigger.var == var
 
@@ -327,6 +363,9 @@ class MachineInstance:
     def fire_recv(self, value: Any, source_machine: str = "",
                   source_host: Any = None) -> bool:
         """A message arrived; pattern-match against recv events."""
+        if self._code is not None:
+            return _get_codegen().fire_recv(self, value, source_machine)
+
         def matches(trigger: ast.Trigger) -> bool:
             if not isinstance(trigger, ast.RecvTrigger):
                 return False
@@ -338,6 +377,8 @@ class MachineInstance:
 
     def fire_realloc(self) -> bool:
         """The optimizer changed this seed's resources (SIII-A-c)."""
+        if self._code is not None:
+            return _get_codegen().fire_realloc(self)
         return self._dispatch(
             lambda t: isinstance(t, ast.ReallocTrigger), {})
 
@@ -605,6 +646,7 @@ class MachineInstance:
         self.machine_scope.vars.update(snapshot["machine_vars"])
         self.current_state = snapshot["state"]
         self.state_scope = _Scope(self.machine_scope)
+        self._svars = self.state_scope.vars
         self.state_scope.vars.update(snapshot["state_vars"])
         self.transitions = snapshot.get("transitions", 0)
         self._started = True

@@ -15,20 +15,29 @@ variable (``u <= term_i``); it is kept symbolic in :class:`ConcaveUtility`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import AlmanacAnalysisError
 
 
 class LinPoly:
-    """``const + sum(coeff_i * r_i)`` with exact dict-of-coeffs storage."""
+    """``const + sum(coeff_i * r_i)`` with exact dict-of-coeffs storage.
 
-    __slots__ = ("coeffs", "const")
+    Instances are treated as immutable (every operation returns a new
+    poly), so the coefficient items and the sorted variable tuple are
+    cached: the placement heuristic evaluates the same polynomials
+    ``O(seeds × |N^s| × pieces)`` times in its inner loop.
+    """
+
+    __slots__ = ("coeffs", "const", "_items", "_vars")
 
     def __init__(self, coeffs: Mapping[str, float] = (), const: float = 0.0) -> None:
         self.coeffs: Dict[str, float] = {
             var: float(c) for var, c in dict(coeffs).items() if c != 0.0}
         self.const = float(const)
+        self._items: Tuple[Tuple[str, float], ...] = tuple(
+            self.coeffs.items())
+        self._vars: Optional[Tuple[str, ...]] = None  # lazy, see variables()
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -45,7 +54,9 @@ class LinPoly:
         return not self.coeffs
 
     def variables(self) -> Tuple[str, ...]:
-        return tuple(sorted(self.coeffs))
+        if self._vars is None:
+            self._vars = tuple(sorted(self.coeffs))
+        return self._vars
 
     # -- arithmetic ------------------------------------------------------------
     def __add__(self, other: "LinPoly") -> "LinPoly":
@@ -86,7 +97,7 @@ class LinPoly:
     # -- evaluation ------------------------------------------------------------
     def evaluate(self, env: Mapping[str, float]) -> float:
         total = self.const
-        for var, c in self.coeffs.items():
+        for var, c in self._items:
             try:
                 total += c * env[var]
             except KeyError:
@@ -166,12 +177,13 @@ class ConcaveUtility:
     handled at the piece level (it splits a seed into copies, SIII-B-b).
     """
 
-    __slots__ = ("terms",)
+    __slots__ = ("terms", "_vars")
 
     def __init__(self, terms: Iterable[LinPoly]) -> None:
         self.terms: Tuple[LinPoly, ...] = tuple(terms)
         if not self.terms:
             raise AlmanacAnalysisError("utility needs at least one term")
+        self._vars: Optional[Tuple[str, ...]] = None  # lazy, see variables()
 
     @classmethod
     def linear(cls, poly: LinPoly) -> "ConcaveUtility":
@@ -189,8 +201,10 @@ class ConcaveUtility:
         return min(t.evaluate(env) for t in self.terms)
 
     def variables(self) -> Tuple[str, ...]:
-        seen = sorted({v for t in self.terms for v in t.variables()})
-        return tuple(seen)
+        if self._vars is None:
+            self._vars = tuple(
+                sorted({v for t in self.terms for v in t.variables()}))
+        return self._vars
 
     def upper_bound(self, resource_caps: Mapping[str, float]) -> float:
         """Utility when every resource is at its cap (a valid upper bound
@@ -229,9 +243,15 @@ class UtilityPiece:
         return all(c.evaluate(env) >= -tol for c in self.constraints)
 
     def variables(self) -> Tuple[str, ...]:
-        seen = {v for c in self.constraints for v in c.variables()}
-        seen.update(self.utility.variables())
-        return tuple(sorted(seen))
+        # Frozen dataclass: cache outside the field set so __eq__/__hash__
+        # are unaffected.
+        cached = getattr(self, "_vars_cache", None)
+        if cached is None:
+            seen = {v for c in self.constraints for v in c.variables()}
+            seen.update(self.utility.variables())
+            cached = tuple(sorted(seen))
+            object.__setattr__(self, "_vars_cache", cached)
+        return cached
 
 
 class PiecewiseUtility:
@@ -247,6 +267,7 @@ class PiecewiseUtility:
         self.pieces: List[UtilityPiece] = list(pieces)
         if not self.pieces:
             raise AlmanacAnalysisError("utility must have at least one piece")
+        self._vars: Optional[Tuple[str, ...]] = None  # lazy, see variables()
 
     def evaluate(self, env: Mapping[str, float]) -> float:
         """Utility at a concrete allocation: first feasible piece wins
@@ -260,8 +281,10 @@ class PiecewiseUtility:
         return any(piece.feasible(env) for piece in self.pieces)
 
     def variables(self) -> Tuple[str, ...]:
-        seen = {v for piece in self.pieces for v in piece.variables()}
-        return tuple(sorted(seen))
+        if self._vars is None:
+            self._vars = tuple(sorted(
+                {v for piece in self.pieces for v in piece.variables()}))
+        return self._vars
 
     def min_utility(self) -> float:
         """A quick lower bound: min over pieces of utility at the piece's

@@ -26,7 +26,6 @@ from repro.almanac.interpreter import CompiledMachine, MachineInstance, flatten_
 from repro.almanac.xmlcodec import decode_program
 from repro.errors import DeploymentError, FarmError
 from repro.net import filters as flt
-from repro.net.packet import Packet
 from repro.sim.engine import PeriodicTimer, Simulator
 from repro.switchsim.chassis import RESOURCE_TYPES, Switch
 from repro.switchsim.stratum import SwitchDriver
@@ -59,6 +58,24 @@ PROBE_BATCH_SIZE = 64
 
 
 @dataclass
+class _PollPlan:
+    """Precomputed firing plan for one trigger variable.
+
+    Subjects and the armed interval only change on deploy/reallocate/
+    ``set_trigger_interval``; deriving them there instead of on every
+    firing keeps ``encode_polling_subjects`` and the rational-function
+    interval evaluation out of the per-tick hot path.
+    """
+
+    info: PollVarInfo
+    kind: str
+    interval: Optional[float]
+    subjects: Optional[frozenset]
+    ports: Tuple[int, ...] = ()
+    rule_patterns: Tuple[Any, ...] = ()
+
+
+@dataclass
 class SeedDeployment:
     """Everything the soil tracks about one running seed."""
 
@@ -70,6 +87,7 @@ class SeedDeployment:
     poll_vars: Dict[str, PollVarInfo]
     timers: Dict[str, PeriodicTimer] = field(default_factory=dict)
     rules: List[int] = field(default_factory=list)  # installed TCAM rule ids
+    poll_plans: Dict[str, _PollPlan] = field(default_factory=dict)
     event_cpu_s: float = DEFAULT_EVENT_CPU_S
     events_delivered: int = 0
     messages_sent: int = 0
@@ -282,16 +300,35 @@ class Soil:
             return None
         return max(interval, MIN_POLL_INTERVAL_S)
 
+    def _rebuild_poll_plans(self, deployment: SeedDeployment) -> None:
+        num_ports = self.switch.asic.num_ports
+        plans: Dict[str, _PollPlan] = {}
+        for name, info in deployment.poll_vars.items():
+            interval = self._interval_for(deployment, info)
+            subjects: Optional[frozenset] = None
+            ports: Tuple[int, ...] = ()
+            rule_patterns: Tuple[Any, ...] = ()
+            if info.kind != "time":
+                subjects = encode_polling_subjects(info.what, num_ports)
+                ports = tuple(sorted(
+                    p for kind, p in subjects if kind == "port"))
+                rule_patterns = tuple(
+                    c for kind, c in subjects if kind == "tcam")
+            plans[name] = _PollPlan(
+                info=info, kind=info.kind, interval=interval,
+                subjects=subjects, ports=ports, rule_patterns=rule_patterns)
+        deployment.poll_plans = plans
+
     def _arm_triggers(self, deployment: SeedDeployment) -> None:
         for timer in deployment.timers.values():
             timer.stop()
         deployment.timers.clear()
-        for name, info in deployment.poll_vars.items():
-            interval = self._interval_for(deployment, info)
-            if interval is None:
+        self._rebuild_poll_plans(deployment)
+        for name, plan in deployment.poll_plans.items():
+            if plan.interval is None:
                 continue  # no resources allocated for this poll yet
             timer = self.sim.every(
-                interval, self._fire_trigger, deployment.seed_id, name,
+                plan.interval, self._fire_trigger, deployment.seed_id, name,
                 label=f"{deployment.seed_id}.{name}")
             deployment.timers[name] = timer
 
@@ -314,6 +351,7 @@ class Soil:
                 name=info.name, kind=info.kind,
                 ival=RationalFunc(LinPoly.constant(interval)),
                 what=info.what)
+        self._rebuild_poll_plans(deployment)
         self._refresh_cpu_load(deployment)
         self._refresh_pcie_demand()
 
@@ -321,25 +359,23 @@ class Soil:
         deployment = self.deployments.get(seed_id)
         if deployment is None:
             return
-        info = deployment.poll_vars[var]
-        if info.kind == "time":
+        plan = deployment.poll_plans[var]
+        if plan.kind == "time":
             self._deliver(deployment, var, None, extra_latency=0.0)
             return
-        if info.kind == "probe":
+        if plan.kind == "probe":
             packets, latency = self.driver.sample_packets(
-                info.what, max_packets=PROBE_BATCH_SIZE)
+                plan.info.what, max_packets=PROBE_BATCH_SIZE)
             self._deliver(deployment, var, packets, extra_latency=latency)
             return
-        data, latency = self._poll(deployment, info)
+        data, latency = self._poll(deployment, plan)
         self._deliver(deployment, var, data, extra_latency=latency)
 
     def _poll(self, deployment: SeedDeployment,
-              info: PollVarInfo) -> Tuple[Any, float]:
+              plan: _PollPlan) -> Tuple[Any, float]:
         """Poll statistics, serving from the aggregation cache when fresh."""
-        subjects = encode_polling_subjects(info.what,
-                                           self.switch.asic.num_ports)
-        cache_key = subjects
-        interval = self._interval_for(deployment, info) or MIN_POLL_INTERVAL_S
+        cache_key = plan.subjects
+        interval = plan.interval or MIN_POLL_INTERVAL_S
         if self.config.aggregation:
             cached = self._poll_cache.get(cache_key)
             if cached is not None and self.sim.now - cached.time < interval:
@@ -351,11 +387,10 @@ class Soil:
                 self.switch.cpu.charge_work(cpu, context_switches=ctx)
                 return cached.data, 0.0
         self.polls_issued += 1
-        ports = sorted(p for kind, p in subjects if kind == "port")
-        rule_patterns = [c for kind, c in subjects if kind == "tcam"]
+        ports = plan.ports
         if ports:
-            stats, latency = self.driver.read_port_counters(ports)
-        elif rule_patterns:
+            stats, latency = self.driver.read_port_counters(list(ports))
+        elif plan.rule_patterns:
             rule_ids = [rule.rule_id
                         for rule in self.switch.tcam.rules(MONITORING)]
             stats, latency = self.driver.read_rule_counters(rule_ids)
@@ -439,16 +474,12 @@ class Soil:
         from repro.switchsim.pcie import BYTES_PER_COUNTER
         per_subject: Dict[Any, List[float]] = {}
         for deployment in self.deployments.values():
-            for info in deployment.poll_vars.values():
-                if info.kind == "time":
+            for plan in deployment.poll_plans.values():
+                if plan.kind == "time" or plan.interval is None:
                     continue
-                interval = self._interval_for(deployment, info)
-                if interval is None:
-                    continue
-                subjects = encode_polling_subjects(
-                    info.what, self.switch.asic.num_ports)
-                rate = len(subjects) * BYTES_PER_COUNTER / interval
-                per_subject.setdefault(subjects, []).append(rate)
+                rate = (len(plan.subjects) * BYTES_PER_COUNTER
+                        / plan.interval)
+                per_subject.setdefault(plan.subjects, []).append(rate)
         total = 0.0
         for rates in per_subject.values():
             total += max(rates) if self.config.aggregation else sum(rates)

@@ -88,6 +88,46 @@ class HeuristicPlacementSolver:
         #: seeds currently holding a migration-residue reservation on
         #: their previous switch (SIV-B-a: double occupancy in transit).
         self._reserved: Dict[str, int] = {}
+        #: per-(seed, piece) minimal allocation — switch-independent, so
+        #: computed once instead of per candidate in the greedy loop.
+        self._min_allocs: Dict[Tuple[str, int], Dict[str, float]] = {}
+        #: per-seed tuple of (piece index, minimal alloc, utility) for the
+        #: pieces feasible at their own minimal footprint.
+        self._profiles: Dict[str, Tuple[Tuple[int, Dict[str, float], float],
+                                        ...]] = {}
+
+    def _minimal_alloc_for(self, seed: SeedSpec, k: int,
+                           piece: UtilityPiece) -> Dict[str, float]:
+        key = (seed.seed_id, k)
+        alloc = self._min_allocs.get(key)
+        if alloc is None:
+            alloc = _minimal_alloc(piece, self.problem.resource_types)
+            self._min_allocs[key] = alloc
+        return alloc
+
+    def _piece_profiles(self, seed: SeedSpec
+                        ) -> Tuple[Tuple[int, Dict[str, float], float], ...]:
+        """Switch-independent per-piece data for :meth:`_best_option`.
+
+        The greedy loop calls ``_best_option`` O(remaining²) times per
+        task; minimal allocation, feasibility at that footprint, and the
+        utility value depend only on the piece, so they are computed once
+        per seed.  The cached alloc dicts are never mutated (``_commit``
+        stores a copy).
+        """
+        profiles = self._profiles.get(seed.seed_id)
+        if profiles is None:
+            built = []
+            for k, piece in enumerate(seed.utility.pieces):
+                alloc = self._minimal_alloc_for(seed, k, piece)
+                env = {r: alloc.get(r, 0.0)
+                       for r in self.problem.resource_types}
+                if not piece.feasible(env):
+                    continue
+                built.append((k, alloc, piece.utility.evaluate(env)))
+            profiles = tuple(built)
+            self._profiles[seed.seed_id] = profiles
+        return profiles
 
     def _add_residue(self, seed_id: str, prev: int) -> None:
         if seed_id in self._reserved:
@@ -214,23 +254,26 @@ class HeuristicPlacementSolver:
         """
         prev = self.problem.previous_placement.get(seed.seed_id)
         best: Optional[Tuple[float, int, int, Dict[str, float]]] = None
+        profiles = self._piece_profiles(seed)
+        # Residue feasibility on the previous switch is candidate-
+        # independent; evaluate it at most once per call (lazily, since
+        # many seeds have no previous home or only their home candidate).
+        residue_ok: Optional[bool] = None
         for n in seed.candidates:
             state = self.states[n]
-            if (prev is not None and n != prev and prev in self.states
-                    and not self._residue_fits(seed, prev)):
-                continue  # old switch cannot host the migration residue
-            for k, piece in enumerate(seed.utility.pieces):
-                alloc = _minimal_alloc(piece, self.problem.resource_types)
+            if prev is not None and n != prev and prev in self.states:
+                if residue_ok is None:
+                    residue_ok = self._residue_fits(seed, prev)
+                if not residue_ok:
+                    continue  # old switch cannot host the migration residue
+            bonus = 1e-9 if n == prev else 0.0
+            for k, alloc, utility in profiles:
+                score = utility + bonus
+                if best is not None and score <= best[0]:
+                    continue  # cannot beat the incumbent; skip the fit check
                 if not self._fits(state, seed, alloc):
                     continue
-                env = {r: alloc.get(r, 0.0)
-                       for r in self.problem.resource_types}
-                if not piece.feasible(env):
-                    continue
-                utility = piece.utility.evaluate(env)
-                score = utility + (1e-9 if n == prev else 0.0)
-                if best is None or score > best[0]:
-                    best = (score, n, k, alloc)
+                best = (score, n, k, alloc)
         return best
 
     def _commit(self, seed: SeedSpec, switch: int, piece_index: int,
@@ -464,7 +507,7 @@ class HeuristicPlacementSolver:
         state = self.states[target]
         best: Optional[Tuple[int, Dict[str, float], float]] = None
         for k, piece in enumerate(seed.utility.pieces):
-            alloc = _minimal_alloc(piece, self.problem.resource_types)
+            alloc = self._minimal_alloc_for(seed, k, piece)
             if not self._fits(state, seed, alloc):
                 continue
             # Pour spare resources into variables the utility rises with.

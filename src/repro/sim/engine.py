@@ -11,8 +11,13 @@ Design notes
 * Events fire in ``(time, priority, sequence)`` order, so two events scheduled
   for the same instant fire in scheduling order unless priorities differ.
   This determinism is load-bearing: tests assert exact orderings.
+* Heap entries are plain ``(time, priority, seq, event)`` tuples: the unique
+  ``seq`` guarantees comparisons never reach the event object, and tuple
+  comparison in C is far cheaper than a dataclass ``__lt__`` in the
+  innermost loop.
 * Cancellation is O(1) (a tombstone flag); the heap lazily discards dead
-  entries on pop.
+  entries on pop and compacts itself when tombstones dominate, so long
+  chaos runs with heavy cancellation don't grow the heap unboundedly.
 """
 
 from __future__ import annotations
@@ -20,7 +25,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import SimulationError
@@ -33,13 +37,9 @@ MICROS = 1e-6
 #: Default priority for scheduled events; lower fires first at equal times.
 NORMAL_PRIORITY = 0
 
-
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    priority: int
-    seq: int
-    event: "Event" = field(compare=False)
+#: Tombstone compaction threshold: compact once at least this many dead
+#: entries accumulate *and* they make up half the heap.
+_COMPACT_MIN_DEAD = 64
 
 
 class Event:
@@ -48,7 +48,7 @@ class Event:
     Returned by :meth:`Simulator.schedule`; hold onto it to :meth:`cancel`.
     """
 
-    __slots__ = ("callback", "args", "cancelled", "fired", "label")
+    __slots__ = ("callback", "args", "cancelled", "fired", "label", "_sim")
 
     def __init__(self, callback: Callable[..., None], args: tuple,
                  label: str = "") -> None:
@@ -57,10 +57,15 @@ class Event:
         self.cancelled = False
         self.fired = False
         self.label = label
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; no-op if fired."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def alive(self) -> bool:
@@ -85,10 +90,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[_HeapEntry] = []
+        self._heap: list[tuple] = []  # (time, priority, seq, Event)
         self._seq = itertools.count()
         self._running = False
         self._event_count = 0
+        self._live = 0  # live (schedulable) entries in the heap
+        self._dead = 0  # cancelled entries not yet popped/compacted
 
     # ------------------------------------------------------------------
     # Introspection
@@ -104,8 +111,9 @@ class Simulator:
         return self._event_count
 
     def pending(self) -> int:
-        """Number of live events still in the queue."""
-        return sum(1 for entry in self._heap if entry.event.alive)
+        """Number of live events still in the queue.  O(1): the count is
+        maintained on schedule/cancel/fire instead of scanning the heap."""
+        return self._live
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -130,22 +138,37 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when}: simulation time is {self._now}")
         event = Event(callback, args, label=label)
-        heapq.heappush(
-            self._heap, _HeapEntry(when, priority, next(self._seq), event))
+        event._sim = self
+        heapq.heappush(self._heap, (when, priority, next(self._seq), event))
+        self._live += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for Event.cancel(): update the live count and compact
+        the heap when tombstones dominate it."""
+        self._live -= 1
+        self._dead += 1
+        if (self._dead >= _COMPACT_MIN_DEAD
+                and self._dead * 2 >= len(self._heap)):
+            self._heap = [entry for entry in self._heap
+                          if not entry[3].cancelled]
+            heapq.heapify(self._heap)
+            self._dead = 0
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next live event.  Returns False when the queue is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            event = entry.event
+        heap = self._heap
+        while heap:
+            when, _priority, _seq, event = heapq.heappop(heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
-            self._now = entry.time
+            self._now = when
             event.fired = True
+            self._live -= 1
             self._event_count += 1
             event.callback(*event.args)
             return True
@@ -168,10 +191,11 @@ class Simulator:
                 if max_events is not None and fired >= max_events:
                     break
                 entry = self._heap[0]
-                if entry.event.cancelled:
+                if entry[3].cancelled:
                     heapq.heappop(self._heap)
+                    self._dead -= 1
                     continue
-                if until is not None and entry.time > until:
+                if until is not None and entry[0] > until:
                     break
                 if not self.step():
                     break
@@ -280,10 +304,18 @@ def jittered_backoff(base: float, attempt: int, cap: float,
 
 
 def iter_times(start: float, interval: float, end: float) -> Iterator[float]:
-    """Yield ``start, start+interval, ...`` up to and including ``end``."""
+    """Yield ``start, start+interval, ...`` up to and including ``end``.
+
+    Each tick is computed as ``start + i*interval`` rather than by repeated
+    addition: accumulating ``t += interval`` loses ulps on every step, and
+    over long runs the drift can skip or duplicate the final tick.
+    """
     if interval <= 0:
         raise SimulationError("interval must be positive")
-    t = start
-    while t <= end + 1e-12:
+    i = 0
+    while True:
+        t = start + i * interval
+        if t > end + 1e-12:
+            return
         yield t
-        t += interval
+        i += 1

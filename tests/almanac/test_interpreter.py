@@ -12,6 +12,14 @@ from repro.errors import AlmanacRuntimeError
 from repro.net import filters as flt
 
 
+@pytest.fixture(autouse=True)
+def _force_interpreter_backend(monkeypatch):
+    # This file pins the reference tree-walker so it stays covered; the
+    # rest of the suite runs on the default compiled backend, and
+    # tests/almanac/test_codegen.py asserts the two behave identically.
+    monkeypatch.setenv("REPRO_INTERPRET", "1")
+
+
 class StubHost:
     def __init__(self, resources=None):
         self._resources = resources or {"vCPU": 1.0, "RAM": 512.0,

@@ -178,3 +178,53 @@ class TestPiecewiseUtility:
     def test_empty_pieces_rejected(self):
         with pytest.raises(AlmanacAnalysisError):
             PiecewiseUtility([])
+
+
+class TestVariableCaching:
+    """The placement inner loop calls variables()/evaluate() O(seeds ×
+    nodes × pieces) times; these guard the memoized representations."""
+
+    def test_linpoly_variables_cached_and_sorted(self):
+        p = LinPoly({"b": 1.0, "a": 2.0}, 3.0)
+        first = p.variables()
+        assert first == ("a", "b")
+        assert p.variables() is first
+
+    def test_linpoly_zero_coeffs_dropped_from_cache(self):
+        p = LinPoly({"a": 0.0, "b": 1.0})
+        assert p.variables() == ("b",)
+        assert p.evaluate({"b": 2.0}) == 2.0  # "a" never looked up
+
+    def test_arithmetic_results_have_fresh_caches(self):
+        p = LinPoly({"a": 1.0})
+        q = LinPoly({"b": 1.0})
+        _ = p.variables(), q.variables()
+        s = p + q
+        assert s.variables() == ("a", "b")
+        assert s.evaluate({"a": 1.0, "b": 2.0}) == 3.0
+
+    def test_concave_utility_variables_cached(self):
+        u = ConcaveUtility((LinPoly({"b": 1.0}), LinPoly({"a": 2.0}, 1.0)))
+        first = u.variables()
+        assert first == ("a", "b")
+        assert u.variables() is first
+
+    def test_utility_piece_cache_does_not_break_equality(self):
+        mk = lambda: UtilityPiece(
+            constraints=(LinPoly({"a": 1.0}, -1.0),),
+            utility=ConcaveUtility((LinPoly({"a": 2.0}),)))
+        x, y = mk(), mk()
+        assert x.variables() == ("a",)  # populate cache on x only
+        assert x == y  # ConcaveUtility is unhashable, so no hash check
+        assert x.variables() is x.variables()
+
+    def test_piecewise_variables_cached(self):
+        pw = PiecewiseUtility([
+            UtilityPiece(constraints=(LinPoly({"a": 1.0}),),
+                         utility=ConcaveUtility((LinPoly({"c": 1.0}),))),
+            UtilityPiece(constraints=(),
+                         utility=ConcaveUtility((LinPoly({"b": 1.0}),))),
+        ])
+        first = pw.variables()
+        assert first == ("a", "b", "c")
+        assert pw.variables() is first

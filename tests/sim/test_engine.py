@@ -211,3 +211,77 @@ class TestHelpers:
     def test_iter_times_rejects_bad_interval(self):
         with pytest.raises(SimulationError):
             list(iter_times(0.0, 0.0, 1.0))
+
+
+class TestTupleHeapFastPath:
+    """Regression tests for the tuple-entry heap rewrite."""
+
+    def test_same_time_same_priority_fifo(self):
+        # Entries are (time, priority, seq, event): the monotone seq must
+        # break ties in scheduling order, never by Event identity.
+        sim = Simulator()
+        order = []
+        for i in range(50):
+            sim.schedule_at(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(50))
+
+    def test_pending_is_live_count(self):
+        sim = Simulator()
+        events = [sim.schedule_at(float(i), lambda: None) for i in range(10)]
+        assert sim.pending() == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert sim.pending() == 8
+        events[3].cancel()  # double-cancel must not double-count
+        assert sim.pending() == 8
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        assert sim.pending() == 0
+        event.cancel()
+        assert sim.pending() == 0
+
+    def test_tombstone_compaction_keeps_live_events(self):
+        # Cancel enough events to trip compaction, then check the
+        # survivors still fire in order.
+        sim = Simulator()
+        fired = []
+        keep = [sim.schedule_at(1000.0 + i, lambda i=i: fired.append(i))
+                for i in range(5)]
+        doomed = [sim.schedule_at(float(i), lambda: fired.append("bad"))
+                  for i in range(200)]
+        for event in doomed:
+            event.cancel()
+        assert sim.pending() == len(keep)
+        assert len(sim._heap) < 205  # compaction actually ran
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_reschedule_from_inside_own_callback(self):
+        # A timer callback that reschedules its own timer: the cancel
+        # tombstones the in-flight next occurrence and re-arms from `now`.
+        sim = Simulator()
+        times = []
+        timer_box = {}
+
+        def cb():
+            times.append(sim.now)
+            if len(times) == 2:
+                timer_box["t"].reschedule(5.0)
+
+        timer_box["t"] = sim.every(1.0, cb)
+        sim.run(until=14.0)
+        assert times == pytest.approx([1.0, 2.0, 7.0, 12.0])
+
+    def test_iter_times_no_float_drift(self):
+        # Repeated addition of 0.1 drifts; iter_times must not.
+        times = list(iter_times(0.0, 0.1, 100.0))
+        assert len(times) == 1001
+        assert times[1000] == pytest.approx(100.0, abs=1e-9)
+        for i in (10, 100, 999):
+            assert times[i] == pytest.approx(0.1 * i, abs=1e-12)
