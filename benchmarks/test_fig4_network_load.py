@@ -7,6 +7,8 @@ magnitude lower and nearly flat (seeds only speak when something changed
 — ~1 packet/min per 100 ports).
 """
 
+import pytest
+
 from repro.eval import run_fig4_network_load
 from repro.eval.reporting import format_rate, format_table, linear_slope, series_by
 
@@ -36,3 +38,8 @@ def test_fig4_network_load(once):
     sflow_slope = linear_slope(series["sFlow 1ms"])
     farm_slope = linear_slope(series["FARM"])
     assert sflow_slope > 50 * max(farm_slope, 1e-9)
+    # Observability cross-check: the rate recomputed from the metrics
+    # registry must agree with the bus's own accounting.
+    for p in points:
+        assert p.registry_bytes_per_s == pytest.approx(
+            p.control_bytes_per_s, rel=1e-9, abs=1e-6)

@@ -6,6 +6,8 @@ analyzes and keeps state) but stays below sFlow except at the smallest
 flow count.
 """
 
+import pytest
+
 from repro.eval import run_fig5_cpu_load
 from repro.eval.reporting import format_table, series_by
 
@@ -29,3 +31,8 @@ def test_fig5_cpu_load(once):
     # FARM cheaper than sFlow except possibly at the smallest size.
     for flows in (200, 400, 600, 800, 1000):
         assert farm[flows] < sflow[flows]
+    # Observability cross-check: CPU load recomputed from the registry
+    # counters must match the CPU model's own integrals.
+    for p in points:
+        assert p.registry_cpu_load_percent == pytest.approx(
+            p.cpu_load_percent, rel=1e-9, abs=1e-9)

@@ -12,6 +12,7 @@ are re-exported here; substrates live in their subpackages:
 from repro.core.deployment import FarmDeployment
 from repro.core.harvester import Harvester
 from repro.core.task import MachineConfig, TaskDefinition
+from repro.obs import Observability
 
 __version__ = "1.0.0"
 
@@ -19,6 +20,7 @@ __all__ = [
     "FarmDeployment",
     "Harvester",
     "MachineConfig",
+    "Observability",
     "TaskDefinition",
     "__version__",
 ]

@@ -219,10 +219,16 @@ class MachineInstance:
                  externals: Optional[Mapping[str, Any]] = None,
                  instance_id: str = "",
                  extra_builtins: Optional[Mapping[str, Callable[..., Any]]]
-                 = None, backend: Optional[str] = None) -> None:
+                 = None, backend: Optional[str] = None,
+                 tracer: Optional[Any] = None) -> None:
         self.compiled = compiled
         self.host = host
         self.instance_id = instance_id or compiled.name
+        # Duck-typed repro.obs.trace.Tracer (no import: the interpreter
+        # stays observability-agnostic).  The dispatch fast path below
+        # costs exactly one attribute load + branch when this is None —
+        # the disabled-instrumentation bound gated by run_perf.py.
+        self._tracer = tracer
         self.builtins: Dict[str, Callable[..., Any]] = {}
         self.builtins.update(pure_builtins())
         self.builtins.update(host_builtins(host))
@@ -352,6 +358,9 @@ class MachineInstance:
     # ------------------------------------------------------------------
     def fire_trigger_var(self, var: str, data: Any) -> bool:
         """A poll/probe/time variable fired; returns True if handled."""
+        tr = self._tracer
+        if tr is not None and tr.enabled:
+            return self._fire_trigger_var_traced(var, data)
         if self._code is not None:
             return _get_codegen().fire_var(self, var, data)
 
@@ -360,9 +369,28 @@ class MachineInstance:
 
         return self._dispatch(matches, {"__data__": data})
 
+    def _fire_trigger_var_traced(self, var: str, data: Any) -> bool:
+        if self._code is not None:
+            handled = _get_codegen().fire_var(self, var, data)
+        else:
+            handled = self._dispatch(
+                lambda t: isinstance(t, ast.VarTrigger) and t.var == var,
+                {"__data__": data})
+        self._tracer.instant(
+            f"fire {var}", track=f"seed/{self.instance_id}", cat="seed",
+            args={"trace_id": self.instance_id, "handled": handled,
+                  "state": self.current_state})
+        return handled
+
     def fire_recv(self, value: Any, source_machine: str = "",
                   source_host: Any = None) -> bool:
         """A message arrived; pattern-match against recv events."""
+        tr = self._tracer
+        if tr is not None and tr.enabled:
+            tr.instant(f"recv {source_machine or 'msg'}",
+                       track=f"seed/{self.instance_id}", cat="seed",
+                       args={"trace_id": self.instance_id,
+                             "state": self.current_state})
         if self._code is not None:
             return _get_codegen().fire_recv(self, value, source_machine)
 

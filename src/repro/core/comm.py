@@ -22,6 +22,8 @@ from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CommError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.engine import Simulator
 
 
@@ -112,6 +114,27 @@ class BusMessage:
 UNKNOWN_DST_POLICIES = ("raise", "drop")
 
 
+def _trace_args(message: "BusMessage") -> Dict[str, Any]:
+    """Trace-event args for a bus message, carrying the causal trace id
+    (the seed id, when the payload names one) across tracks.  Only called
+    when tracing is enabled; never mutates the payload — injecting ids
+    in-band would change ``estimate_size_bytes`` and thus latencies."""
+    args: Dict[str, Any] = {"msg_id": message.msg_id,
+                            "size_bytes": message.size_bytes}
+    payload = message.payload
+    if isinstance(payload, dict):
+        inner = payload.get("payload") if payload.get("__rel__") == "data" \
+            else payload
+        if isinstance(inner, dict):
+            seed_id = inner.get("seed_id")
+            if seed_id is not None:
+                args["trace_id"] = seed_id
+            cmd = inner.get("cmd") or inner.get("event")
+            if cmd is not None:
+                args["kind"] = cmd
+    return args
+
+
 class ControlBus:
     """Topic-less named-endpoint message bus with delivery latency.
 
@@ -120,15 +143,22 @@ class ControlBus:
     load (Fig. 4 counts control-plane bytes).
     """
 
-    #: Bound on the retained delivery history; aggregate counters
-    #: (total_bytes / total_messages) are exact regardless.  High-rate
-    #: collection baselines (sFlow at 1 ms over hundreds of ports) push
-    #: millions of messages — keeping them all would eat the heap.
+    #: Default bound on the retained delivery history; aggregate counters
+    #: (total_bytes / total_messages / rates) live on the metrics registry
+    #: and are exact regardless of trimming.  High-rate collection
+    #: baselines (sFlow at 1 ms over hundreds of ports) push millions of
+    #: messages — keeping them all would eat the heap.
     HISTORY_LIMIT = 100_000
+
+    #: Length (sim-seconds) of the windowed byte/message rate estimator.
+    RATE_WINDOW_S = 5.0
 
     def __init__(self, sim: Simulator,
                  base_latency_s: float = BUS_BASE_LATENCY_S,
-                 unknown_dst: str = "raise") -> None:
+                 unknown_dst: str = "raise",
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 history_limit: Optional[int] = None) -> None:
         from collections import deque
         if unknown_dst not in UNKNOWN_DST_POLICIES:
             raise CommError(f"unknown-destination policy must be one of "
@@ -142,15 +172,50 @@ class ControlBus:
         self.unknown_dst_policy = unknown_dst
         self._handlers: Dict[str, Callable[[BusMessage], None]] = {}
         self._ids = itertools.count(1)
-        self.delivered: "deque[BusMessage]" = deque(maxlen=self.HISTORY_LIMIT)
-        self.total_bytes = 0
-        self.total_messages = 0
-        #: Messages discarded because no handler was registered for their
-        #: destination (at send or at delivery time).
-        self.undeliverable_messages = 0
+        self.history_limit = (history_limit if history_limit is not None
+                              else self.HISTORY_LIMIT)
+        self.delivered: "deque[BusMessage]" = deque(maxlen=self.history_limit)
+        #: Shared deployment registry, or a private one for standalone use.
+        #: Components downstream of the bus (reliable endpoints, soils,
+        #: the seeder) default to this registry, so wiring one registry
+        #: into the bus observes the whole control plane.
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry(clock=lambda: sim.now)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._m_messages = self.metrics.counter(
+            "farm_bus_messages_total",
+            "Control-plane messages delivered to a handler.",
+            window_s=self.RATE_WINDOW_S)
+        self._m_bytes = self.metrics.counter(
+            "farm_bus_bytes_total",
+            "Control-plane bytes delivered (Fig. 4 network load).",
+            window_s=self.RATE_WINDOW_S)
+        self._m_undeliverable = self.metrics.counter(
+            "farm_bus_undeliverable_total",
+            "Messages discarded: destination not registered.")
+        self._m_chaos_dropped = self.metrics.counter(
+            "farm_bus_chaos_dropped_total",
+            "Messages discarded by the attached fault injector.")
         #: Optional :class:`repro.core.chaos.FaultInjector`; when set,
         #: every send consults it for loss/duplication/delay/partitions.
         self.fault_injector: Optional[Any] = None
+
+    # -- legacy counter attributes (now registry-backed) -------------------
+    @property
+    def total_bytes(self) -> int:
+        """Delivered payload bytes, exact for the whole run (the registry
+        counter survives :attr:`delivered` history trimming)."""
+        return int(self._m_bytes.value)
+
+    @property
+    def total_messages(self) -> int:
+        return int(self._m_messages.value)
+
+    @property
+    def undeliverable_messages(self) -> int:
+        """Messages discarded because no handler was registered for their
+        destination (at send or at delivery time)."""
+        return int(self._m_undeliverable.value)
 
     def register(self, endpoint: str,
                  handler: Callable[[BusMessage], None]) -> None:
@@ -185,18 +250,30 @@ class ControlBus:
             msg_id=next(self._ids), src=src, dst=dst, payload=payload,
             size_bytes=size_bytes, sent_at=self.sim.now,
             delivered_at=self.sim.now + latency)
+        tracer = self.tracer
         if dst not in self._handlers:
             if policy == "raise":
                 raise CommError(f"unknown bus endpoint {dst!r}")
-            self.undeliverable_messages += 1
+            self._m_undeliverable.inc()
             message.dropped = True
+            if tracer.enabled:
+                tracer.instant(f"undeliverable {src}->{dst}", track="bus",
+                               cat="bus", args=_trace_args(message))
             return message
         deliveries = [0.0]
         if self.fault_injector is not None:
             deliveries = self.fault_injector.plan(src, dst)
             if not deliveries:
+                self._m_chaos_dropped.inc()
                 message.dropped = True
+                if tracer.enabled:
+                    tracer.instant(f"chaos-drop {src}->{dst}", track="bus",
+                                   cat="bus", args=_trace_args(message))
                 return message
+        if tracer.enabled:
+            tracer.async_begin(f"{src}->{dst}", span_id=f"msg{message.msg_id}",
+                               track="bus", cat="bus",
+                               args=_trace_args(message))
         for extra_delay in deliveries:
             self.sim.schedule(latency + extra_delay, self._deliver, message,
                               label=f"bus {src}->{dst}")
@@ -206,23 +283,44 @@ class ControlBus:
         handler = self._handlers.get(message.dst)
         if handler is None:
             # endpoint vanished (seed undeployed mid-flight)
-            self.undeliverable_messages += 1
+            self._m_undeliverable.inc()
             return
         message.delivered_at = self.sim.now
         self.delivered.append(message)
-        self.total_bytes += message.size_bytes
-        self.total_messages += 1
+        self._m_bytes.inc(message.size_bytes)
+        self._m_messages.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.async_end(f"{message.src}->{message.dst}",
+                             span_id=f"msg{message.msg_id}",
+                             track="bus", cat="bus")
         handler(message)
 
     # -- accounting --------------------------------------------------------
     def messages_between(self, t0: float, t1: float) -> List[BusMessage]:
+        """Delivered messages in ``[t0, t1]`` — bounded by
+        :attr:`history_limit`; use the registry counters for exact totals."""
         return [m for m in self.delivered if t0 <= m.delivered_at <= t1]
 
     def bytes_per_second(self, horizon: Optional[float] = None) -> float:
-        elapsed = horizon if horizon is not None else self.sim.now
-        if elapsed <= 0:
+        """Delivered-byte rate.
+
+        Without ``horizon``: the lifetime average (total bytes over total
+        elapsed sim-time).  With ``horizon``: the rate over the trailing
+        ``horizon`` seconds, computed from the registry's sim-time rate
+        window — **not** from the :attr:`delivered` history, so it stays
+        correct after trimming.  (The old implementation divided all-time
+        bytes by the window length, wildly overestimating short windows.)
+        Horizons are clamped to :attr:`RATE_WINDOW_S`.
+        """
+        if horizon is None:
+            elapsed = self.sim.now
+            if elapsed <= 0:
+                return 0.0
+            return self._m_bytes.value / elapsed
+        if horizon <= 0:
             return 0.0
-        return self.total_bytes / elapsed
+        return self._m_bytes.rate(min(horizon, self.RATE_WINDOW_S))
 
 
 def estimate_size_bytes(payload: Any) -> int:

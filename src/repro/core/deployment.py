@@ -17,6 +17,7 @@ from repro.core.soil import Soil
 from repro.net.controller import SdnController
 from repro.net.topology import Topology, spine_leaf
 from repro.net.traffic import Workload
+from repro.obs import Observability
 from repro.sim.engine import Simulator
 from repro.switchsim.chassis import ACCTON_AS5712, SwitchFleet, SwitchModel
 
@@ -28,17 +29,33 @@ class FarmDeployment:
                  switch_model: SwitchModel = ACCTON_AS5712,
                  soil_config: Optional[SoilCommConfig] = None,
                  solver: str = "heuristic",
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 trace: bool = False) -> None:
         self.sim = Simulator()
+        # One registry + tracer for the whole deployment: the fleet's
+        # resource models, the control bus, and everything hanging off the
+        # bus (soils, seeder, harvesters, fault tolerance) share it.
+        self.obs = Observability(self.sim, trace=trace)
         self.topology = topology if topology is not None else spine_leaf()
         self.controller = SdnController(self.topology)
         self.fleet = SwitchFleet.for_topology(self.sim, self.topology,
-                                              model=switch_model)
-        self.bus = ControlBus(self.sim)
+                                              model=switch_model,
+                                              registry=self.obs.registry)
+        self.bus = ControlBus(self.sim, registry=self.obs.registry,
+                              tracer=self.obs.tracer)
         self.seeder = Seeder(self.sim, self.controller, self.fleet, self.bus,
                              soil_config=soil_config, solver=solver,
                              retry_policy=retry_policy)
         self.chaos: Optional[FaultInjector] = None
+
+    @property
+    def metrics(self):
+        """The deployment-wide :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.obs.registry
+
+    @property
+    def tracer(self):
+        return self.obs.tracer
 
     # -- convenience ---------------------------------------------------
     def soil(self, switch_id: int) -> Soil:

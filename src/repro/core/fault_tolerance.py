@@ -71,14 +71,26 @@ class FaultToleranceManager:
         self.confirm_limit = confirm_limit
         self.health: Dict[int, SwitchHealth] = {}
         self.checkpoints: Dict[str, Dict[str, Any]] = {}
-        self.failovers_performed = 0
-        self.recoveries_performed = 0
-        #: Suspicions raised / cleared without escalating to failure —
-        #: the lossy-but-alive near misses the grace period absorbed.
-        self.suspicions_raised = 0
-        self.suspicions_cleared = 0
         #: seed ids displaced by a failure with nowhere to go.
         self.parked_seeds: Set[str] = set()
+        # Observability: shared with the bus/seeder registry.
+        self.metrics = self.bus.metrics
+        self.tracer = self.bus.tracer
+        self._m_failovers = self.metrics.counter(
+            "farm_ft_failovers_total",
+            "Switch failures confirmed and failed over.")
+        self._m_recoveries = self.metrics.counter(
+            "farm_ft_recoveries_total",
+            "Failed switches returned to the pool.")
+        self._m_suspicions_raised = self.metrics.counter(
+            "farm_ft_suspicions_raised_total",
+            "Switches marked suspected after miss_limit silent periods.")
+        self._m_suspicions_cleared = self.metrics.counter(
+            "farm_ft_suspicions_cleared_total",
+            "Suspicions cleared by a late heartbeat (grace period wins).")
+        self._g_parked = self.metrics.gauge(
+            "farm_ft_parked_seeds",
+            "Seeds displaced by failures with nowhere to go.")
         self.bus.register(HEARTBEAT_ENDPOINT, self._on_heartbeat)
         self._timers: List[PeriodicTimer] = []
         for switch_id, soil in seeder.soils.items():
@@ -92,6 +104,25 @@ class FaultToleranceManager:
             start_after=heartbeat_interval_s * 1.5, label="ft-check"))
         self._timers.append(self.sim.every(
             checkpoint_interval_s, self._checkpoint_all, label="ft-ckpt"))
+
+    # -- legacy counter attributes (now registry-backed) -------------------
+    @property
+    def failovers_performed(self) -> int:
+        return int(self._m_failovers.value)
+
+    @property
+    def recoveries_performed(self) -> int:
+        return int(self._m_recoveries.value)
+
+    @property
+    def suspicions_raised(self) -> int:
+        """Suspicions raised without (yet) escalating to failure — the
+        lossy-but-alive near misses the grace period absorbs."""
+        return int(self._m_suspicions_raised.value)
+
+    @property
+    def suspicions_cleared(self) -> int:
+        return int(self._m_suspicions_cleared.value)
 
     # ------------------------------------------------------------------
     # Heartbeats
@@ -115,7 +146,11 @@ class FaultToleranceManager:
             # A lossy-but-alive switch: the grace period did its job.
             health.suspected = False
             health.suspected_at = None
-            self.suspicions_cleared += 1
+            self._m_suspicions_cleared.inc()
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.instant(f"suspicion-cleared sw{health.switch_id}",
+                               track="seeder", cat="fault-tolerance")
         if health.failed:
             self._handle_recovery(health)
 
@@ -131,7 +166,12 @@ class FaultToleranceManager:
                         and not health.suspected):
                     health.suspected = True
                     health.suspected_at = self.sim.now
-                    self.suspicions_raised += 1
+                    self._m_suspicions_raised.inc()
+                    tracer = self.tracer
+                    if tracer.enabled:
+                        tracer.instant(f"suspected sw{health.switch_id}",
+                                       track="seeder", cat="fault-tolerance",
+                                       args={"missed": health.missed})
                 if health.missed >= self.confirm_limit:
                     self._handle_failure(health)
 
@@ -164,7 +204,11 @@ class FaultToleranceManager:
         health.suspected_at = None
         switch_id = health.switch_id
         self.seeder.failed_switches.add(switch_id)
-        self.failovers_performed += 1
+        self._m_failovers.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"failover sw{switch_id}", track="seeder",
+                           cat="fault-tolerance")
         # Displace the failed switch's seeds: they are gone; the seeder's
         # bookkeeping must reflect that before re-optimizing.
         displaced: List = []
@@ -180,6 +224,7 @@ class FaultToleranceManager:
                      if n not in self.seeder.failed_switches]
             if not alive:
                 self.parked_seeds.add(seed.seed_id)
+        self._g_parked.set(len(self.parked_seeds))
         # Re-place everything on the survivors, restoring checkpoints.
         self._redeploy_with_checkpoints()
 
@@ -194,10 +239,15 @@ class FaultToleranceManager:
         health.failed_at = None
         health.missed = 0
         self.seeder.failed_switches.discard(health.switch_id)
-        self.recoveries_performed += 1
+        self._m_recoveries.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"recovery sw{health.switch_id}", track="seeder",
+                           cat="fault-tolerance")
         revived = {seed_id for seed_id in self.parked_seeds
                    if self._can_place_now(seed_id)}
         self.parked_seeds -= revived
+        self._g_parked.set(len(self.parked_seeds))
         self._redeploy_with_checkpoints()
 
     def _can_place_now(self, seed_id: str) -> bool:

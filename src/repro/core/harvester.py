@@ -39,7 +39,16 @@ class Harvester:
         #: Telemetry is fire-and-forget, so a chaotic bus may duplicate
         #: it; reports carry (switch, epoch, rseq) and are deduplicated.
         self._seen_reports: Dict[Tuple[str, int, float], Set[int]] = {}
-        self.duplicate_reports = 0
+        # Registry counters are created on attach (that's when the bus —
+        # and with it the deployment's registry — becomes known).
+        self._m_reports = None
+        self._m_duplicates = None
+        self.tracer = None
+
+    # -- legacy counter attributes (now registry-backed) -------------------
+    @property
+    def duplicate_reports(self) -> int:
+        return int(self._m_duplicates.value) if self._m_duplicates else 0
 
     # ------------------------------------------------------------------
     # Lifecycle (called by the seeder)
@@ -54,6 +63,15 @@ class Harvester:
         self.bus = bus
         self.task_id = task_id
         self._seeder = seeder
+        labels = {"task": task_id}
+        self._m_reports = bus.metrics.counter(
+            "farm_harvester_reports_total",
+            "Seed reports accepted by the harvester.", labels=labels)
+        self._m_duplicates = bus.metrics.counter(
+            "farm_harvester_duplicates_total",
+            "Duplicated seed reports discarded by (epoch, rseq) dedup.",
+            labels=labels)
+        self.tracer = bus.tracer
         bus.register(f"harvester/{task_id}", self._on_bus_message)
         self.on_attached()
 
@@ -77,7 +95,7 @@ class Harvester:
                    float(payload.get("epoch", 0.0)))
             seen = self._seen_reports.setdefault(key, set())
             if rseq in seen:
-                self.duplicate_reports += 1
+                self._m_duplicates.inc()
                 return
             seen.add(rseq)
         report = SeedReport(
@@ -86,6 +104,14 @@ class Harvester:
             switch=int(payload.get("switch", -1)),
             value=payload["value"])
         self.reports.append(report)
+        if self._m_reports is not None:
+            self._m_reports.inc()
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(f"harvest {report.seed_id}", track="harvester",
+                           cat="lifecycle",
+                           args={"trace_id": report.seed_id,
+                                 "switch": report.switch})
         self.on_seed_report(report)
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, Optional, Set
 
 from repro.core.comm import BusMessage, ControlBus, estimate_size_bytes
 from repro.errors import CommError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Event, Simulator, jittered_backoff
 
 #: Wire size of an ack and of the per-message envelope bookkeeping.
@@ -94,7 +95,8 @@ class ReliableEndpoint:
                  handler: Callable[[BusMessage], None],
                  policy: Optional[RetryPolicy] = None,
                  alive: Optional[Callable[[], bool]] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.bus = bus
         self.sim = sim
         self.name = name
@@ -107,11 +109,43 @@ class ReliableEndpoint:
         self._seq = itertools.count(1)
         self._pending: Dict[int, _Pending] = {}
         self._seen: Dict[str, Set[int]] = {}
-        self.acked = 0
-        self.retransmissions = 0
-        self.dead_letters = 0
-        self.duplicates_discarded = 0
+        # Retry/dedup counters live on the deployment's metrics registry
+        # (the bus's by default), labeled per endpoint; the legacy
+        # attributes below are read-through properties.
+        metrics = registry if registry is not None else bus.metrics
+        labels = {"endpoint": name}
+        self._m_acked = metrics.counter(
+            "farm_reliable_acked_total",
+            "Data messages acknowledged by the receiver.", labels=labels)
+        self._m_retransmissions = metrics.counter(
+            "farm_reliable_retransmissions_total",
+            "Retransmissions after ack timeouts.", labels=labels)
+        self._m_dead_letters = metrics.counter(
+            "farm_reliable_dead_letters_total",
+            "Messages abandoned after max_attempts.", labels=labels)
+        self._m_duplicates = metrics.counter(
+            "farm_reliable_duplicates_total",
+            "Received duplicates discarded by (sender, seq) dedup.",
+            labels=labels)
+        self.tracer = bus.tracer
         bus.register(name, self._on_message)
+
+    # -- legacy counter attributes (now registry-backed) -------------------
+    @property
+    def acked(self) -> int:
+        return int(self._m_acked.value)
+
+    @property
+    def retransmissions(self) -> int:
+        return int(self._m_retransmissions.value)
+
+    @property
+    def dead_letters(self) -> int:
+        return int(self._m_dead_letters.value)
+
+    @property
+    def duplicates_discarded(self) -> int:
+        return int(self._m_duplicates.value)
 
     # ------------------------------------------------------------------
     # Sending
@@ -156,7 +190,13 @@ class ReliableEndpoint:
             return  # acked in the meantime
         if pending.attempts >= self.policy.max_attempts:
             del self._pending[seq]
-            self.dead_letters += 1
+            self._m_dead_letters.inc()
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.instant(f"dead-letter {self.name}->{pending.dst}",
+                               track="bus", cat="reliable",
+                               args={"seq": pending.seq,
+                                     "attempts": pending.attempts})
             if pending.on_dead is not None:
                 pending.on_dead(pending.dst, pending.payload,
                                 pending.attempts)
@@ -165,7 +205,13 @@ class ReliableEndpoint:
             # The endpoint itself died mid-retry; its queue dies with it.
             del self._pending[seq]
             return
-        self.retransmissions += 1
+        self._m_retransmissions.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"retransmit {self.name}->{pending.dst}",
+                           track="bus", cat="reliable",
+                           args={"seq": pending.seq,
+                                 "attempt": pending.attempts + 1})
         self._transmit(pending)
 
     # ------------------------------------------------------------------
@@ -182,7 +228,7 @@ class ReliableEndpoint:
                 if pending is not None:
                     if pending.timer is not None:
                         pending.timer.cancel()
-                    self.acked += 1
+                    self._m_acked.inc()
                 return
             if kind == "data":
                 src = payload["src"]
@@ -194,7 +240,7 @@ class ReliableEndpoint:
                               size_bytes=ACK_SIZE_BYTES, on_unknown="drop")
                 seen = self._seen.setdefault(src, set())
                 if seq in seen:
-                    self.duplicates_discarded += 1
+                    self._m_duplicates.inc()
                     return
                 seen.add(seq)
                 # A duplicating bus delivers the *same* record twice;

@@ -108,16 +108,40 @@ class Seeder:
         #: Switches currently considered dead (fault-tolerance manager);
         #: they contribute no capacity and host no seeds.
         self.failed_switches: set = set()
-        self.optimizations_run = 0
-        self.migrations_performed = 0
         self.last_solution: Optional[PlacementSolution] = None
-        #: Commands that exhausted every retransmission (dead letters).
-        self.lost_commands = 0
         #: Reliable command channel: deploy/migrate/undeploy commands out,
         #: soil lifecycle reports (deployed/undeployed/...) back in.
         self.channel = ReliableEndpoint(
             bus, sim, self.ENDPOINT, self._on_soil_event,
             policy=self.retry_policy)
+        # Observability: shared with the bus (and thus with every soil).
+        self.metrics = bus.metrics
+        self.tracer = bus.tracer
+        self._m_optimizations = self.metrics.counter(
+            "farm_seeder_optimizations_total",
+            "Global placement optimizations run.")
+        self._m_migrations = self.metrics.counter(
+            "farm_seeder_migrations_total",
+            "Seed migrations initiated (SV-B).")
+        self._m_lost_commands = self.metrics.counter(
+            "farm_seeder_lost_commands_total",
+            "Commands that exhausted every retransmission.")
+        self._g_tasks = self.metrics.gauge(
+            "farm_seeder_tasks", "Tasks currently active.")
+
+    # -- legacy counter attributes (now registry-backed) -------------------
+    @property
+    def optimizations_run(self) -> int:
+        return int(self._m_optimizations.value)
+
+    @property
+    def migrations_performed(self) -> int:
+        return int(self._m_migrations.value)
+
+    @property
+    def lost_commands(self) -> int:
+        """Commands that exhausted every retransmission (dead letters)."""
+        return int(self._m_lost_commands.value)
 
     # ------------------------------------------------------------------
     # Task lifecycle
@@ -152,6 +176,13 @@ class Seeder:
         task = ActiveTask(definition=definition, blueprints=blueprints,
                           seeds=seeds)
         self.tasks[definition.task_id] = task
+        self._g_tasks.set(len(self.tasks))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"compile {definition.task_id}", track="seeder",
+                           cat="lifecycle",
+                           args={"task": definition.task_id,
+                                 "seeds": len(seeds)})
         if definition.harvester is not None:
             definition.harvester.attach(self.sim, self.bus,
                                         definition.task_id, self)
@@ -163,6 +194,7 @@ class Seeder:
         task = self.tasks.pop(task_id, None)
         if task is None:
             raise DeploymentError(f"unknown task {task_id!r}")
+        self._g_tasks.set(len(self.tasks))
         for seed in task.seeds:
             if self._is_live(seed):
                 self._send_command(seed.switch, {
@@ -263,11 +295,18 @@ class Seeder:
         problem = self.build_problem()
         if self.solver == "milp":
             solution = solve_milp(problem,
-                                  time_limit_s=self.milp_time_limit_s)
+                                  time_limit_s=self.milp_time_limit_s,
+                                  registry=self.metrics)
         else:
-            solution = solve_heuristic(problem)
-        self.optimizations_run += 1
+            solution = solve_heuristic(problem, registry=self.metrics)
+        self._m_optimizations.inc()
         self.last_solution = solution
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("reoptimize", track="seeder", cat="placement",
+                           args={"solver": self.solver,
+                                 "placed": len(solution.placement),
+                                 "objective": solution.objective})
         self._reconcile(solution, restore_snapshots or {})
         return solution
 
@@ -359,7 +398,13 @@ class Seeder:
         transfer the state, deploy at the destination, resume."""
         old_switch = seed.switch
         seed.migrating = True
-        self.migrations_performed += 1
+        self._m_migrations.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"migrate {seed.seed_id}", track="seeder",
+                           cat="lifecycle",
+                           args={"trace_id": seed.seed_id,
+                                 "from": old_switch, "to": target})
         seed.switch = target
         seed.allocation = dict(allocation)
         self._send_command(old_switch, {
@@ -472,7 +517,7 @@ class Seeder:
                                 attempts: int) -> None:
         """A command exhausted its retries (destination dead or
         partitioned beyond the retry horizon)."""
-        self.lost_commands += 1
+        self._m_lost_commands.inc()
         if not isinstance(payload, dict):
             return
         seed = self._find_seed(payload.get("seed_id"))

@@ -188,8 +188,45 @@ class Soil:
             policy=retry_policy, alive=lambda: not self.failed)
         #: Router installed by the seeder for inter-seed messages.
         self.seed_message_router: Optional[Callable[..., None]] = None
-        self.polls_issued = 0
-        self.polls_served_from_cache = 0
+        # Observability: the soil registers into the bus's registry/tracer
+        # (one shared pair per deployment when FarmDeployment wired them).
+        self.metrics = bus.metrics
+        self.tracer = bus.tracer
+        self._track = f"switch/{switch.switch_id}"
+        labels = {"switch": switch.switch_id}
+        self._m_polls = self.metrics.counter(
+            "farm_soil_polls_total",
+            "ASIC polls actually issued over PCIe.", labels=labels)
+        self._m_cache_hits = self.metrics.counter(
+            "farm_soil_poll_cache_hits_total",
+            "Seed polls served from the aggregation cache.", labels=labels)
+        self._m_events = self.metrics.counter(
+            "farm_soil_events_total",
+            "Seed handler invocations (trigger + recv).", labels=labels)
+        self._m_seed_messages = self.metrics.counter(
+            "farm_soil_seed_messages_total",
+            "Messages seeds sent (harvester + seed-to-seed).", labels=labels)
+        self._m_crashes = self.metrics.counter(
+            "farm_soil_seed_crashes_total",
+            "Seed crashes contained by the restart policy.", labels=labels)
+        self._m_deploys = self.metrics.counter(
+            "farm_soil_deploys_total",
+            "Seeds deployed on this switch.", labels=labels)
+        self._m_undeploys = self.metrics.counter(
+            "farm_soil_undeploys_total",
+            "Seeds undeployed from this switch.", labels=labels)
+        self._g_seeds = self.metrics.gauge(
+            "farm_soil_seeds",
+            "Seeds currently deployed on this switch.", labels=labels)
+
+    # -- legacy counter attributes (now registry-backed) -------------------
+    @property
+    def polls_issued(self) -> int:
+        return int(self._m_polls.value)
+
+    @property
+    def polls_served_from_cache(self) -> int:
+        return int(self._m_cache_hits.value)
 
     # ------------------------------------------------------------------
     # Deployment lifecycle
@@ -229,7 +266,8 @@ class Soil:
         host = _SeedHost(self, deployment)
         instance = MachineInstance(compiled, host, externals=externals,
                                    instance_id=seed_id,
-                                   extra_builtins=self.extra_builtins)
+                                   extra_builtins=self.extra_builtins,
+                                   tracer=self.tracer)
         deployment.instance = instance
         self.deployments[seed_id] = deployment
         self.bus.register(self._seed_endpoint(seed_id),
@@ -241,6 +279,14 @@ class Soil:
         self._arm_triggers(deployment)
         self._refresh_cpu_load(deployment)
         self._refresh_pcie_demand()
+        self._m_deploys.inc()
+        self._g_seeds.set(len(self.deployments))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"deploy {seed_id}", track=self._track,
+                           cat="lifecycle",
+                           args={"trace_id": seed_id, "task": task_id,
+                                 "resumed": snapshot is not None})
         return deployment
 
     def undeploy(self, seed_id: str) -> Dict[str, Any]:
@@ -259,6 +305,12 @@ class Soil:
         self.bus.unregister(self._seed_endpoint(seed_id))
         del self.deployments[seed_id]
         self._refresh_pcie_demand()
+        self._m_undeploys.inc()
+        self._g_seeds.set(len(self.deployments))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"undeploy {seed_id}", track=self._track,
+                           cat="lifecycle", args={"trace_id": seed_id})
         return snapshot
 
     def snapshot_seed(self, seed_id: str) -> Dict[str, Any]:
@@ -379,14 +431,14 @@ class Soil:
         if self.config.aggregation:
             cached = self._poll_cache.get(cache_key)
             if cached is not None and self.sim.now - cached.time < interval:
-                self.polls_served_from_cache += 1
+                self._m_cache_hits.inc()
                 # Aggregated fan-out: no PCIe crossing, but the data must
                 # reach the seed — trivial for threads (shared buffer),
                 # two context switches for process seeds (Fig. 9's cost).
                 cpu, ctx = seed_soil_cpu_cost(self.config)
                 self.switch.cpu.charge_work(cpu, context_switches=ctx)
                 return cached.data, 0.0
-        self.polls_issued += 1
+        self._m_polls.inc()
         ports = plan.ports
         if ports:
             stats, latency = self.driver.read_port_counters(list(ports))
@@ -411,6 +463,13 @@ class Soil:
         handler_delay = self.switch.cpu.charge_work(
             deployment.event_cpu_s + cpu_cost, context_switches=ctx)
         total = extra_latency + comm_latency + handler_delay
+        tracer = self.tracer
+        if tracer.enabled:
+            # The cost model fixes the delivery latency up front, so the
+            # whole poll->handler interval is one complete span.
+            tracer.complete(f"{deployment.seed_id}.{var}", track=self._track,
+                            start=self.sim.now, duration=total, cat="poll",
+                            args={"trace_id": deployment.seed_id})
         self.sim.schedule(total, self._run_handler, deployment.seed_id, var,
                           data, label=f"deliver {deployment.seed_id}.{var}")
 
@@ -419,6 +478,7 @@ class Soil:
         if deployment is None:
             return  # undeployed while the event was in flight
         deployment.events_delivered += 1
+        self._m_events.inc()
         try:
             deployment.instance.fire_trigger_var(var, data)
         except FarmError:
@@ -447,12 +507,19 @@ class Soil:
         host = _SeedHost(self, deployment)
         fresh = MachineInstance(compiled, host, externals=externals,
                                 instance_id=seed_id,
-                                extra_builtins=self.extra_builtins)
+                                extra_builtins=self.extra_builtins,
+                                tracer=self.tracer)
         deployment.instance = fresh
         fresh.start()
         self._arm_triggers(deployment)
         self.logs.append((self.sim.now, seed_id,
                           f"restarted after crash #{crashes}"))
+        self._m_crashes.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"crash-restart {seed_id}", track=self._track,
+                           cat="lifecycle",
+                           args={"trace_id": seed_id, "crashes": crashes})
         return True
 
     # ------------------------------------------------------------------
@@ -546,6 +613,7 @@ class Soil:
     def send_to_harvester(self, deployment: SeedDeployment,
                           value: Any) -> None:
         deployment.messages_sent += 1
+        self._m_seed_messages.inc()
         dst = f"harvester/{deployment.task_id}"
         if not self.bus.is_registered(dst):
             return  # task has no harvester; message is dropped silently
@@ -564,6 +632,7 @@ class Soil:
     def send_to_machine(self, deployment: SeedDeployment, machine: str,
                         dst: Optional[Any], value: Any) -> None:
         deployment.messages_sent += 1
+        self._m_seed_messages.inc()
         if self.seed_message_router is None:
             raise DeploymentError(
                 "no seed message router installed (is a seeder running?)")
@@ -661,6 +730,7 @@ class Soil:
         if deployment is None:
             return
         deployment.events_delivered += 1
+        self._m_events.inc()
         deployment.instance.fire_recv(value, source_machine=source_machine)
 
     # ------------------------------------------------------------------
@@ -674,11 +744,16 @@ class Soil:
         if self.failed:
             return
         self.failed = True
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("power-off", track=self._track, cat="lifecycle",
+                           args={"seeds_lost": len(self.deployments)})
         for deployment in list(self.deployments.values()):
             for timer in deployment.timers.values():
                 timer.stop()
             self.bus.unregister(self._seed_endpoint(deployment.seed_id))
         self.deployments.clear()
+        self._g_seeds.set(0)
         self._poll_cache.clear()
         self.channel.reset()
         self.switch.cpu.clear_all_standing()
@@ -688,6 +763,9 @@ class Soil:
         """Bring a powered-off switch back; it resumes empty (deploys and
         heartbeats restart it into service)."""
         self.failed = False
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant("power-on", track=self._track, cat="lifecycle")
 
     # ------------------------------------------------------------------
     # Transitions & external code

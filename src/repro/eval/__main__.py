@@ -4,10 +4,13 @@ Usage::
 
     python -m repro.eval tab4
     python -m repro.eval fig8 fig9 fig10
-    python -m repro.eval all        # everything (slow)
+    python -m repro.eval all              # everything (slow)
+    python -m repro.eval fig4 --json out.json
 
 Each experiment prints the paper-style rows via the same drivers the
-benchmark suite uses.
+benchmark suite uses.  ``--json PATH`` additionally dumps every result
+row as structured JSON (via :mod:`repro.eval.reporting`), for plotting
+or regression diffing without re-running the simulations.
 """
 
 from __future__ import annotations
@@ -28,35 +31,40 @@ from repro.eval import (
     run_fig10_comm_latency,
     run_tab4_responsiveness,
 )
+from repro.eval.reporting import write_json
 
 
-def _tab4() -> None:
+def _tab4():
     print("Tab. 4 — HH detection time")
     results = run_tab4_responsiveness(trials=3)
     print(format_table(
         ["System", "Type", "Time"],
         [(r.system, r.kind, format_latency(r.latency_s)) for r in results]))
+    return results
 
 
-def _fig4() -> None:
+def _fig4():
     print("Fig. 4 — control-plane network load")
     points = run_fig4_network_load()
     print(format_table(
         ["system", "ports", "bytes/s", "msgs/s"],
         [(p.system, p.ports, format_rate(p.control_bytes_per_s),
           f"{p.control_msgs_per_s:.1f}") for p in points]))
+    return points
 
 
-def _fig5() -> None:
+def _fig5():
     print("Fig. 5 — switch CPU load vs flows (10 ms accuracy)")
     points = run_fig5_cpu_load()
     print(format_table(
         ["system", "flows", "CPU %"],
         [(p.system, p.flows, f"{p.cpu_load_percent:.2f}") for p in points]))
+    return points
 
 
-def _fig6() -> None:
+def _fig6():
     print("Fig. 6 — CPU load vs seeds")
+    results = {}
     for label, kwargs in (
             ("a: HH 1 ms", dict(task="hh", accuracy_ms=1.0)),
             ("b: HH 10 ms", dict(task="hh", accuracy_ms=10.0)),
@@ -67,15 +75,17 @@ def _fig6() -> None:
                                      iterations=10,
                                      seed_counts=(50, 100, 150, 200, 250)))):
         points = run_fig6_seed_scaling(**kwargs)
+        results[label] = points
         print(f"  ({label})")
         print(format_table(
             ["seeds", "CPU %", "accuracy"],
             [(p.seeds, f"{p.cpu_load_percent:.1f}",
               "ok" if p.polling_accuracy_met else "LOST")
              for p in points]))
+    return results
 
 
-def _fig7() -> None:
+def _fig7():
     print("Fig. 7 — placement utility and runtime (small + full scale)")
     points = run_fig7_placement(seed_counts=(50, 100, 200),
                                 num_switches=30, runs_per_size=2,
@@ -88,33 +98,37 @@ def _fig7() -> None:
                              runs_per_size=1, include_milp=False)[0]
     print(f"  full scale (10200 seeds / 1040 switches): utility "
           f"{big.utility:.0f} in {big.runtime_s:.1f}s")
+    return {"small": points, "full_scale": big}
 
 
-def _fig8() -> None:
+def _fig8():
     print("Fig. 8 — PCIe vs ASIC congestion")
     points = run_fig8_pcie()
     print(format_table(
         ["seeds", "PCIe x capacity", "ASIC util"],
         [(p.seeds, f"{p.pcie_oversubscription:.2f}",
           f"{p.asic_utilization * 100:.3f}%") for p in points]))
+    return points
 
 
-def _fig9() -> None:
+def _fig9():
     print("Fig. 9 — aggregation cost")
     points = run_fig9_aggregation()
     print(format_table(
         ["mode", "aggregation", "seeds", "CPU %"],
         [(p.mode, "on" if p.aggregation else "off", p.seeds,
           f"{p.soil_cpu_percent:.1f}") for p in points]))
+    return points
 
 
-def _fig10() -> None:
+def _fig10():
     print("Fig. 10 — seed<->soil latency")
     points = run_fig10_comm_latency()
     print(format_table(
         ["scheme", "seeds", "latency"],
         [(p.scheme, p.seeds, format_latency(p.latency_s))
          for p in points]))
+    return points
 
 
 EXPERIMENTS = {
@@ -124,7 +138,16 @@ EXPERIMENTS = {
 
 
 def main(argv) -> int:
-    names = argv[1:] or ["--help"]
+    args = list(argv[1:])
+    json_path = None
+    if "--json" in args:
+        index = args.index("--json")
+        if index + 1 >= len(args):
+            print("--json requires a path", file=sys.stderr)
+            return 2
+        json_path = args[index + 1]
+        del args[index:index + 2]
+    names = args or ["--help"]
     if names in (["--help"], ["-h"]):
         print(__doc__)
         print("experiments:", ", ".join(sorted(EXPERIMENTS)), "| all")
@@ -135,10 +158,14 @@ def main(argv) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         return 2
+    results = {}
     for name in names:
         start = time.perf_counter()
-        EXPERIMENTS[name]()
+        results[name] = EXPERIMENTS[name]()
         print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+    if json_path is not None:
+        write_json(json_path, results)
+        print(f"[results written to {json_path}]")
     return 0
 
 

@@ -142,6 +142,9 @@ class NetworkLoadPoint:
     ports: int
     control_bytes_per_s: float
     control_msgs_per_s: float
+    #: The same rate recomputed from the metrics registry
+    #: (``farm_bus_bytes_total``) — the Fig. 4 observability cross-check.
+    registry_bytes_per_s: float = 0.0
 
 
 def run_fig4_network_load(port_counts: Tuple[int, ...] = (100, 200, 400,
@@ -169,12 +172,15 @@ def run_fig4_network_load(port_counts: Tuple[int, ...] = (100, 200, 400,
             farm.start_workload(workload, leaf)
         start_bytes = farm.bus.total_bytes
         start_msgs = farm.bus.total_messages
+        start_reg = farm.obs.registry.value("farm_bus_bytes_total")
         t0 = farm.sim.now
         farm.run(until=t0 + duration_s)
+        reg_bytes = farm.obs.registry.value("farm_bus_bytes_total")
         points.append(NetworkLoadPoint(
             "FARM", ports,
             (farm.bus.total_bytes - start_bytes) / duration_s,
-            (farm.bus.total_messages - start_msgs) / duration_s))
+            (farm.bus.total_messages - start_msgs) / duration_s,
+            registry_bytes_per_s=(reg_bytes - start_reg) / duration_s))
         # --- baselines --------------------------------------------------
         for system, period in (("sFlow 1ms", 0.001), ("sFlow 10ms", 0.010),
                                ("Sonata", None)):
@@ -201,7 +207,9 @@ def run_fig4_network_load(port_counts: Tuple[int, ...] = (100, 200, 400,
             sim.run(until=t0 + duration_s)
             points.append(NetworkLoadPoint(
                 system, ports, bus.total_bytes / duration_s,
-                bus.total_messages / duration_s))
+                bus.total_messages / duration_s,
+                registry_bytes_per_s=(
+                    bus.metrics.value("farm_bus_bytes_total") / duration_s)))
     return points
 
 
@@ -214,6 +222,24 @@ class CpuLoadPoint:
     system: str
     flows: int
     cpu_load_percent: float
+    #: Load recomputed from the registry counters (``farm_cpu_*_total``)
+    #: instead of the CPU model's private integrals — the Fig. 5 check.
+    registry_cpu_load_percent: float = 0.0
+
+
+def _registry_cpu_load_percent(switch: Switch, horizon_s: float) -> float:
+    """Mean CPU load in percent from the metrics registry alone.
+
+    The registry counters mirror the CPU model's work/standing integrals
+    add-for-add, so this matches ``mean_load_percent()`` exactly.
+    """
+    switch.cpu.mean_load_percent()  # flush the standing-load integral
+    labels = {"switch": switch.switch_id}
+    work = switch.metrics.value("farm_cpu_work_seconds_total", labels)
+    standing = switch.metrics.value(
+        "farm_cpu_standing_core_seconds_total", labels)
+    demand = (work + standing) / horizon_s * 100.0
+    return min(demand, switch.cpu.num_cores * 100.0)
 
 
 def run_fig5_cpu_load(flow_counts: Tuple[int, ...] = (100, 200, 400, 600,
@@ -234,8 +260,9 @@ def run_fig5_cpu_load(flow_counts: Tuple[int, ...] = (100, 200, 400, 600,
         _deploy_polling_seed(soil, "farm-seed", interval_s=0.010,
                              event_cpu_s=event_cpu)
         sim.run(until=duration_s)
-        points.append(CpuLoadPoint("FARM", flows,
-                                   switch.cpu.mean_load_percent()))
+        points.append(CpuLoadPoint(
+            "FARM", flows, switch.cpu.mean_load_percent(),
+            _registry_cpu_load_percent(switch, duration_s)))
         # sFlow: agent samples and forwards, cost per sample, no analysis.
         sim = Simulator()
         switch = Switch(sim, 1)
@@ -245,8 +272,9 @@ def run_fig5_cpu_load(flow_counts: Tuple[int, ...] = (100, 200, 400, 600,
         SflowAgent(sim, switch, driver_for(switch), bus, collector.endpoint,
                    probe_period_s=0.010)
         sim.run(until=duration_s)
-        points.append(CpuLoadPoint("sFlow", flows,
-                                   switch.cpu.mean_load_percent()))
+        points.append(CpuLoadPoint(
+            "sFlow", flows, switch.cpu.mean_load_percent(),
+            _registry_cpu_load_percent(switch, duration_s)))
     return points
 
 

@@ -1,0 +1,106 @@
+"""Unified observability layer: metrics, tracing, and exporters.
+
+One :class:`Observability` object per deployment bundles the two pillars —
+a :class:`~repro.obs.metrics.MetricsRegistry` (always on; counters are one
+float add) and a :class:`~repro.obs.trace.Tracer` (off by default; hot
+paths guard on ``tracer.enabled`` so disabled tracing costs a branch).
+:class:`~repro.core.deployment.FarmDeployment` creates one and threads it
+through the control bus, seeder, soils, switches, and solvers; standalone
+components fall back to a private registry so instrumentation never needs
+a None-check.
+
+Quick tour::
+
+    farm = FarmDeployment(trace=True)
+    ... run a scenario ...
+    farm.obs.registry.value("farm_bus_messages_total")
+    write_chrome_trace(farm.obs.tracer, "farm_trace.json")   # -> Perfetto
+
+See ``docs/observability.md`` for the architecture and metric catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.obs.exporters import (
+    parse_prometheus_text,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RateWindow,
+    freeze_labels,
+)
+from repro.obs.trace import MAX_TRACE_EVENTS, NULL_SPAN, NULL_TRACER, Span, Tracer
+
+
+class Observability:
+    """Shared registry + tracer pair for one deployment.
+
+    ``sim`` (anything with a ``.now`` float) keys both pillars on
+    simulation time; without it they fall back to a constant-zero clock,
+    which is fine for unit tests of isolated components.
+    """
+
+    def __init__(self, sim: Optional[Any] = None, trace: bool = False,
+                 max_trace_events: int = MAX_TRACE_EVENTS) -> None:
+        clock: Optional[Callable[[], float]] = (
+            (lambda: sim.now) if sim is not None else None)
+        self.sim = sim
+        self.registry = MetricsRegistry(clock=clock)
+        self.tracer = Tracer(clock=clock, enabled=trace,
+                             max_events=max_trace_events)
+
+    def start_tracing(self) -> None:
+        """Enable event tracing from this sim-instant on."""
+        self.tracer.enabled = True
+
+    def stop_tracing(self) -> None:
+        self.tracer.enabled = False
+
+    def trace_kernel(self, sim: Any) -> None:
+        """Opt-in: record every fired DES event as an instant on the
+        ``kernel`` track.  Very high volume — use on short runs."""
+        tracer = self.tracer
+
+        def hook(when: float, label: str) -> None:
+            if tracer.enabled:
+                tracer._emit({"ph": "i", "name": label or "event",
+                              "cat": "kernel", "track": "kernel",
+                              "ts": when, "args": None})
+
+        sim.set_trace_hook(hook)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MAX_TRACE_EVENTS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Observability",
+    "RateWindow",
+    "Span",
+    "Tracer",
+    "freeze_labels",
+    "parse_prometheus_text",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_prometheus_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

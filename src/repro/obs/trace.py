@@ -1,0 +1,165 @@
+"""Causal event tracing keyed on simulation time.
+
+A :class:`Tracer` records lightweight span/instant/async events that the
+exporters render as JSONL or Chrome ``trace_event`` JSON (openable in
+``chrome://tracing`` / Perfetto).  Trace semantics:
+
+* **tracks** play the role of Chrome *threads*: one per switch
+  (``switch/3``), plus ``seeder``, ``bus``, ``kernel`` — so a whole DES run
+  reads as a per-switch timeline;
+* **spans** (``ph="X"``) cover an interval of sim-time (a poll round trip,
+  a seed handler);
+* **instants** (``ph="i"``) mark lifecycle moments (deploy, migrate,
+  failover);
+* **async spans** (``ph="b"``/``"e"`` with an id) stitch causally related
+  endpoints together across tracks — a control-bus message is one async
+  span from ``send`` to ``deliver``, carrying the trace id (normally the
+  seed id) in its args.
+
+Near-zero cost when disabled
+----------------------------
+Hot paths guard on ``tracer.enabled`` (or on a ``None`` tracer attribute)
+before building any event, and a disabled tracer's :meth:`Tracer.span`
+returns the shared :data:`NULL_SPAN` singleton — no per-event allocation
+happens unless tracing is actually on.  The dispatch-loop overhead of the
+disabled guard is measured and gated in ``benchmarks/perf/run_perf.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+#: Default cap on buffered events; beyond it new events are counted in
+#: ``Tracer.dropped`` instead of stored (a runaway trace should not eat
+#: the heap of a long chaos run).
+MAX_TRACE_EVENTS = 500_000
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def finish(self, **args: Any) -> None:
+        return None
+
+
+#: The singleton null span: identity-checkable in tests, allocation-free.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """An open interval on a track; call :meth:`finish` to record it."""
+
+    __slots__ = ("_tracer", "name", "track", "cat", "start", "args")
+
+    def __init__(self, tracer: "Tracer", name: str, track: str, cat: str,
+                 start: float, args: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.track = track
+        self.cat = cat
+        self.start = start
+        self.args = args
+
+    def finish(self, **extra: Any) -> None:
+        tracer = self._tracer
+        args = self.args
+        if extra:
+            args = dict(args or ())
+            args.update(extra)
+        tracer._emit({"ph": "X", "name": self.name, "cat": self.cat,
+                      "track": self.track, "ts": self.start,
+                      "dur": tracer.now() - self.start, "args": args})
+
+
+class Tracer:
+    """Buffered recorder of sim-time trace events.
+
+    ``clock`` supplies the timestamp (normally ``lambda: sim.now``);
+    events are plain dicts with sim-time ``ts``/``dur`` in **seconds** —
+    the Chrome exporter converts to microseconds.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 enabled: bool = False,
+                 max_events: int = MAX_TRACE_EVENTS) -> None:
+        self._clock = clock
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: List[Dict[str, Any]] = []
+        self.dropped = 0
+
+    # -- plumbing ----------------------------------------------------------
+    def now(self) -> float:
+        clock = self._clock
+        return clock() if clock is not None else 0.0
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    # -- recording ---------------------------------------------------------
+    def instant(self, name: str, track: str, cat: str = "event",
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a zero-duration lifecycle moment."""
+        if not self.enabled:
+            return
+        self._emit({"ph": "i", "name": name, "cat": cat, "track": track,
+                    "ts": self.now(), "args": args})
+
+    def span(self, name: str, track: str, cat: str = "span",
+             args: Optional[Dict[str, Any]] = None) -> Any:
+        """Open a span; returns :data:`NULL_SPAN` while disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, track, cat, self.now(), args)
+
+    def complete(self, name: str, track: str, start: float, duration: float,
+                 cat: str = "span",
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a span whose duration is already known (e.g. a delivery
+        whose latency the cost model computed up front)."""
+        if not self.enabled:
+            return
+        self._emit({"ph": "X", "name": name, "cat": cat, "track": track,
+                    "ts": start, "dur": duration, "args": args})
+
+    def async_begin(self, name: str, span_id: str, track: str,
+                    cat: str = "async",
+                    args: Optional[Dict[str, Any]] = None) -> None:
+        """Open one side of a cross-track causal link (bus message)."""
+        if not self.enabled:
+            return
+        self._emit({"ph": "b", "name": name, "cat": cat, "track": track,
+                    "ts": self.now(), "id": span_id, "args": args})
+
+    def async_end(self, name: str, span_id: str, track: str,
+                  cat: str = "async",
+                  args: Optional[Dict[str, Any]] = None) -> None:
+        if not self.enabled:
+            return
+        self._emit({"ph": "e", "name": name, "cat": cat, "track": track,
+                    "ts": self.now(), "id": span_id, "args": args})
+
+    # -- reading -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_track(self) -> Dict[str, List[Dict[str, Any]]]:
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        for event in self.events:
+            out.setdefault(event["track"], []).append(event)
+        return out
+
+
+#: Module-level disabled tracer: components default their ``tracer``
+#: attribute to this instead of ``None`` so call sites never need a
+#: None-check *and* an enabled-check — one predictable branch suffices.
+NULL_TRACER = Tracer(enabled=False)

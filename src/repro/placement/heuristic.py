@@ -570,7 +570,35 @@ def _poly_row_named(poly: LinPoly,
 
 
 def solve_heuristic(problem: PlacementProblem, redistribute: bool = True,
-                    migrate: bool = True) -> PlacementSolution:
-    """Run Alg. 1 on ``problem``."""
-    return HeuristicPlacementSolver(
+                    migrate: bool = True,
+                    registry=None) -> PlacementSolution:
+    """Run Alg. 1 on ``problem``.
+
+    ``registry`` (a :class:`repro.obs.metrics.MetricsRegistry`) records the
+    solve count, runtime histogram, and last objective when provided.
+    """
+    solution = HeuristicPlacementSolver(
         problem, redistribute=redistribute, migrate=migrate).solve()
+    if registry is not None:
+        record_solve_metrics(registry, solution)
+    return solution
+
+
+def record_solve_metrics(registry, solution: PlacementSolution) -> None:
+    """Register one solver run's outcome under ``farm_placement_*``."""
+    labels = {"solver": solution.solver}
+    registry.counter(
+        "farm_placement_solves_total",
+        "Placement optimizations run, by solver.", labels=labels).inc()
+    registry.histogram(
+        "farm_placement_runtime_seconds",
+        "Wall-clock solver runtime.", labels=labels
+    ).observe(solution.runtime_s)
+    registry.gauge(
+        "farm_placement_objective",
+        "Objective value of the most recent solution.", labels=labels
+    ).set(solution.objective)
+    registry.gauge(
+        "farm_placement_placed_seeds",
+        "Seeds placed by the most recent solution.", labels=labels
+    ).set(len(solution.placement))

@@ -267,6 +267,15 @@ class MilpPlacementSolver:
 
 
 def solve_milp(problem: PlacementProblem,
-               time_limit_s: Optional[float] = None) -> PlacementSolution:
-    """Solve placement exactly (up to ``time_limit_s``) with HiGHS."""
-    return MilpPlacementSolver(problem).solve(time_limit_s=time_limit_s)
+               time_limit_s: Optional[float] = None,
+               registry=None) -> PlacementSolution:
+    """Solve placement exactly (up to ``time_limit_s``) with HiGHS.
+
+    ``registry`` (a :class:`repro.obs.metrics.MetricsRegistry`) records the
+    solve count, runtime histogram, and last objective when provided.
+    """
+    solution = MilpPlacementSolver(problem).solve(time_limit_s=time_limit_s)
+    if registry is not None:
+        from repro.placement.heuristic import record_solve_metrics
+        record_solve_metrics(registry, solution)
+    return solution

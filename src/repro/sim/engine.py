@@ -96,6 +96,10 @@ class Simulator:
         self._event_count = 0
         self._live = 0  # live (schedulable) entries in the heap
         self._dead = 0  # cancelled entries not yet popped/compacted
+        # Optional kernel trace hook: ``hook(when, label)`` called for
+        # every fired event.  Kept as a plain attribute so the disabled
+        # cost in step() is one load + branch (the hot loop budget).
+        self._trace_hook: Optional[Callable[[float, str], None]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -114,6 +118,17 @@ class Simulator:
         """Number of live events still in the queue.  O(1): the count is
         maintained on schedule/cancel/fire instead of scanning the heap."""
         return self._live
+
+    def set_trace_hook(
+            self, hook: Optional[Callable[[float, str], None]]) -> None:
+        """Install (or clear, with None) the kernel trace hook.
+
+        ``hook(when, label)`` runs right before each event's callback.
+        :meth:`repro.obs.Observability.trace_kernel` uses this to put
+        every fired event on the trace timeline; it is opt-in because the
+        volume is proportional to the whole run.
+        """
+        self._trace_hook = hook
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -170,6 +185,9 @@ class Simulator:
             event.fired = True
             self._live -= 1
             self._event_count += 1
+            hook = self._trace_hook
+            if hook is not None:
+                hook(when, event.label)
             event.callback(*event.args)
             return True
         return False

@@ -8,9 +8,10 @@ vCPU cores, RAM (MB), monitoring TCAM entries, and PCIe polling capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import SwitchError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.switchsim.asic import Asic
 from repro.switchsim.cpu import ManagementCpu
@@ -79,19 +80,27 @@ class Switch:
 
     def __init__(self, sim: Simulator, switch_id: int,
                  model: SwitchModel = ACCTON_AS5712,
-                 name: str = "") -> None:
+                 name: str = "",
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.switch_id = switch_id
         self.model = model
         self.name = name or f"{model.name}#{switch_id}"
-        self.tcam = Tcam(capacity=model.tcam_entries, monitoring_share=0.25)
+        # One label set shared by every resource model of this chassis, so
+        # a fleet-wide registry can slice per switch.
+        self.metrics = registry or MetricsRegistry(clock=lambda: sim.now)
+        labels = {"switch": switch_id}
+        self.tcam = Tcam(capacity=model.tcam_entries, monitoring_share=0.25,
+                         registry=self.metrics, labels=labels)
         self.asic = Asic(sim, num_ports=model.num_ports,
                          line_rate_bps=model.line_rate_bps, tcam=self.tcam,
                          name=f"sw{switch_id}.asic")
         self.pcie = PcieBus(sim, poll_capacity_bps=model.pcie_poll_bps,
-                            name=f"sw{switch_id}.pcie")
+                            name=f"sw{switch_id}.pcie",
+                            registry=self.metrics, labels=labels)
         self.cpu = ManagementCpu(sim, num_cores=model.cpu_cores,
-                                 name=f"sw{switch_id}.cpu")
+                                 name=f"sw{switch_id}.cpu",
+                                 registry=self.metrics, labels=labels)
 
     def available_resources(self) -> Dict[str, float]:
         """Total resource inventory (before any seed allocations)."""
@@ -104,15 +113,17 @@ class Switch:
 class SwitchFleet:
     """All emulated switches of a deployment, indexed by topology node id."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
+        self.metrics = registry or MetricsRegistry(clock=lambda: sim.now)
         self._switches: Dict[int, Switch] = {}
 
     def add(self, switch_id: int,
             model: SwitchModel = ACCTON_AS5712) -> Switch:
         if switch_id in self._switches:
             raise SwitchError(f"switch {switch_id} already exists")
-        switch = Switch(self.sim, switch_id, model)
+        switch = Switch(self.sim, switch_id, model, registry=self.metrics)
         self._switches[switch_id] = switch
         return switch
 
@@ -134,9 +145,11 @@ class SwitchFleet:
 
     @classmethod
     def for_topology(cls, sim: Simulator, topology,
-                     model: SwitchModel = ACCTON_AS5712) -> "SwitchFleet":
+                     model: SwitchModel = ACCTON_AS5712,
+                     registry: Optional[MetricsRegistry] = None
+                     ) -> "SwitchFleet":
         """One emulated switch per topology switch node."""
-        fleet = cls(sim)
+        fleet = cls(sim, registry=registry)
         for switch_id in topology.switch_ids:
             fleet.add(switch_id, model)
         return fleet

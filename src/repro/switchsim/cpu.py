@@ -17,9 +17,10 @@ baseline agents run here.  The model accounts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.errors import SwitchError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 
 #: CPU-seconds consumed by one context switch (generous for an Atom-class
@@ -37,7 +38,9 @@ class ManagementCpu:
     """Load accounting for the switch's local control-plane CPU."""
 
     def __init__(self, sim: Simulator, num_cores: int = 4,
-                 name: str = "cpu") -> None:
+                 name: str = "cpu",
+                 registry: Optional[MetricsRegistry] = None,
+                 labels: Optional[Mapping[str, Any]] = None) -> None:
         if num_cores <= 0:
             raise SwitchError(f"core count must be positive: {num_cores}")
         self.sim = sim
@@ -48,6 +51,24 @@ class ManagementCpu:
         self._last_accumulate = sim.now
         self._standing_integral = 0.0  # integral of standing load (core*s)
         self._history: List[LoadSample] = []
+        # Registry counters mirror the two integrals with the identical
+        # float-add sequence, so load recomputed from the registry matches
+        # mean_demand_percent() bit-for-bit (the Fig. 5 cross-check).
+        self.metrics = registry or MetricsRegistry(clock=lambda: sim.now)
+        self._m_work = self.metrics.counter(
+            "farm_cpu_work_seconds_total",
+            "One-off CPU-seconds charged (incl. context-switch tax).",
+            labels=labels)
+        self._m_standing_s = self.metrics.counter(
+            "farm_cpu_standing_core_seconds_total",
+            "Integral of standing load over sim time, in core-seconds.",
+            labels=labels)
+        self._m_ctx = self.metrics.counter(
+            "farm_cpu_context_switches_total",
+            "Context switches charged to the management CPU.", labels=labels)
+        self._g_standing = self.metrics.gauge(
+            "farm_cpu_standing_cores",
+            "Current standing load in cores.", labels=labels)
 
     # ------------------------------------------------------------------
     # Standing load
@@ -58,17 +79,20 @@ class ManagementCpu:
             raise SwitchError(f"load must be non-negative: {core_fraction}")
         self._accumulate()
         self._standing[key] = core_fraction
+        self._g_standing.set(self.standing_load_cores)
         self._history.append(LoadSample(self.sim.now, self.load_percent))
 
     def clear_standing_load(self, key: str) -> None:
         self._accumulate()
         self._standing.pop(key, None)
+        self._g_standing.set(self.standing_load_cores)
 
     def clear_all_standing(self) -> None:
         """Drop every standing-load registration at once (power failure:
         nothing survives on the management CPU)."""
         self._accumulate()
         self._standing.clear()
+        self._g_standing.set(0.0)
         self._history.append(LoadSample(self.sim.now, self.load_percent))
 
     @property
@@ -89,6 +113,9 @@ class ManagementCpu:
             raise SwitchError(f"work must be non-negative: {cpu_seconds}")
         total = cpu_seconds + context_switches * CONTEXT_SWITCH_COST_S
         self._work_integral += total
+        self._m_work.inc(total)
+        if context_switches:
+            self._m_ctx.inc(context_switches)
         slowdown = max(1.0, self.standing_load_cores / self.num_cores)
         return total * slowdown
 
@@ -98,7 +125,9 @@ class ManagementCpu:
     def _accumulate(self) -> None:
         dt = self.sim.now - self._last_accumulate
         if dt > 0:
-            self._standing_integral += self.standing_load_cores * dt
+            delta = self.standing_load_cores * dt
+            self._standing_integral += delta
+            self._m_standing_s.inc(delta)
         self._last_accumulate = self.sim.now
 
     @property

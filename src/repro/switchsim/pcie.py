@@ -13,9 +13,10 @@ capacity and transfers stall once the bus saturates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.errors import SwitchError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.resources import CapacityMeter
 
@@ -60,14 +61,30 @@ class PcieBus:
 
     def __init__(self, sim: Simulator,
                  poll_capacity_bps: float = DEFAULT_POLL_CAPACITY_BPS,
-                 name: str = "pcie") -> None:
+                 name: str = "pcie",
+                 registry: Optional[MetricsRegistry] = None,
+                 labels: Optional[Mapping[str, Any]] = None) -> None:
         self.sim = sim
         self.name = name
         self.meter = CapacityMeter(sim, poll_capacity_bps,
                                    name=f"{name}.poll")
         self._transfers: List[TransferRecord] = []
         self._standing: Dict[str, float] = {}
-        self.total_bytes = 0.0
+        self.metrics = registry or MetricsRegistry(clock=lambda: sim.now)
+        self._m_bytes = self.metrics.counter(
+            "farm_pcie_bytes_total",
+            "Bytes moved across the management PCIe bus.", labels=labels)
+        self._m_transfers = self.metrics.counter(
+            "farm_pcie_transfers_total",
+            "Completed PCIe transactions.", labels=labels)
+        self._g_demand = self.metrics.gauge(
+            "farm_pcie_standing_demand_bps",
+            "Registered standing polling demand in bytes/s.", labels=labels)
+
+    # -- legacy counter attributes (now registry-backed) -------------------
+    @property
+    def total_bytes(self) -> float:
+        return float(self._m_bytes.value)
 
     # ------------------------------------------------------------------
     # Standing (periodic) demand registration
@@ -86,11 +103,13 @@ class PcieBus:
         elif rate_bps < old:
             self.meter.remove_demand(old - rate_bps)
         self._standing[key] = rate_bps
+        self._g_demand.set(self.standing_demand_bps)
 
     def unregister_poller(self, key: str) -> None:
         old = self._standing.pop(key, 0.0)
         if old:
             self.meter.remove_demand(old)
+        self._g_demand.set(self.standing_demand_bps)
 
     @property
     def standing_demand_bps(self) -> float:
@@ -125,7 +144,8 @@ class PcieBus:
     def transfer(self, nbytes: int, kind: str = "poll") -> float:
         """Execute a transfer; returns its latency and records it."""
         latency = self.transfer_latency(nbytes)
-        self.total_bytes += nbytes
+        self._m_bytes.inc(nbytes)
+        self._m_transfers.inc()
         self._transfers.append(
             TransferRecord(self.sim.now, nbytes, latency, kind))
         return latency

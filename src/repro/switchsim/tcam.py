@@ -11,11 +11,12 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.errors import TcamError
 from repro.net.filters import Filter
 from repro.net.packet import FlowKey, Packet
+from repro.obs.metrics import MetricsRegistry
 
 FORWARDING = "forwarding"
 MONITORING = "monitoring"
@@ -65,7 +66,9 @@ class Tcam:
     space (SII-B-b: "the switching behavior is not affected").
     """
 
-    def __init__(self, capacity: int, monitoring_share: float = 0.25) -> None:
+    def __init__(self, capacity: int, monitoring_share: float = 0.25,
+                 registry: Optional[MetricsRegistry] = None,
+                 labels: Optional[Mapping[str, Any]] = None) -> None:
         if capacity <= 0:
             raise TcamError(f"TCAM capacity must be positive: {capacity}")
         if not 0.0 <= monitoring_share <= 1.0:
@@ -76,6 +79,13 @@ class Tcam:
         self._ids = itertools.count(1)
         self._dirty = True
         self._sorted: List[TcamRule] = []
+        self.metrics = registry or MetricsRegistry()
+        base = dict(labels) if labels else {}
+        self._g_rules = {
+            region: self.metrics.gauge(
+                "farm_tcam_rules", "Installed TCAM rules per region.",
+                labels={**base, "region": region})
+            for region in (FORWARDING, MONITORING)}
 
     # ------------------------------------------------------------------
     # Capacity accounting
@@ -128,6 +138,7 @@ class Tcam:
         rule.installed_at = now
         self._rules[rule.rule_id] = rule
         self._dirty = True
+        self._g_rules[rule.region].set(self.used(rule.region))
         return rule.rule_id
 
     def remove(self, rule_id: int) -> TcamRule:
@@ -137,6 +148,7 @@ class Tcam:
         except KeyError:
             raise TcamError(f"no TCAM rule with id {rule_id}") from None
         self._dirty = True
+        self._g_rules[rule.region].set(self.used(rule.region))
         return rule
 
     def remove_matching(self, pattern: Filter) -> List[TcamRule]:

@@ -1,0 +1,141 @@
+"""Exporter round-trips: Prometheus text, JSONL, Chrome trace_event."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    parse_prometheus_text,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("farm_bus_bytes_total",
+                     "Bytes delivered.").inc(4096)
+    registry.counter("farm_soil_polls_total", labels={"switch": 1}).inc(10)
+    registry.counter("farm_soil_polls_total", labels={"switch": 2}).inc(20)
+    registry.gauge("farm_soil_seeds", labels={"switch": 1}).set(3)
+    h = registry.histogram("farm_placement_runtime_seconds",
+                           labels={"solver": "heuristic"},
+                           buckets=(0.01, 0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    return registry
+
+
+def _sample_tracer() -> Tracer:
+    clock = {"now": 0.0}
+    tracer = Tracer(clock=lambda: clock["now"], enabled=True)
+    tracer.instant("deploy s1", track="switch/1", cat="lifecycle",
+                   args={"trace_id": "s1"})
+    clock["now"] = 0.001
+    tracer.async_begin("seeder->soil/1", span_id="msg1", track="bus",
+                       args={"trace_id": "s1"})
+    clock["now"] = 0.002
+    tracer.async_end("seeder->soil/1", span_id="msg1", track="bus")
+    tracer.complete("s1.poll", track="switch/1", start=0.002,
+                    duration=0.0005, cat="poll")
+    tracer.instant("reoptimize", track="seeder")
+    return tracer
+
+
+class TestPrometheus:
+    def test_text_structure(self):
+        text = to_prometheus_text(_sample_registry())
+        assert "# HELP farm_bus_bytes_total Bytes delivered." in text
+        assert "# TYPE farm_bus_bytes_total counter" in text
+        assert "farm_bus_bytes_total 4096" in text
+        assert 'farm_soil_polls_total{switch="1"} 10' in text
+        assert 'le="+Inf"' in text
+        assert text.endswith("\n")
+
+    def test_round_trip_parse(self):
+        registry = _sample_registry()
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert parsed["farm_bus_bytes_total"] == 4096
+        assert parsed['farm_soil_polls_total{switch="1"}'] == 10
+        assert parsed['farm_soil_polls_total{switch="2"}'] == 20
+        assert parsed['farm_soil_seeds{switch="1"}'] == 3
+        # Histogram: cumulative buckets, sum and count all present.
+        assert parsed[
+            'farm_placement_runtime_seconds_bucket'
+            '{solver="heuristic",le="0.1"}'] == 1
+        assert parsed[
+            'farm_placement_runtime_seconds_bucket'
+            '{solver="heuristic",le="+Inf"}'] == 2
+        assert parsed[
+            'farm_placement_runtime_seconds_count{solver="heuristic"}'] == 2
+        assert parsed[
+            'farm_placement_runtime_seconds_sum{solver="heuristic"}'] \
+            == pytest.approx(0.55)
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"path": 'a"b\\c'}).inc()
+        text = to_prometheus_text(registry)
+        assert r'path="a\"b\\c"' in text
+
+
+class TestJsonl:
+    def test_one_object_per_line(self):
+        tracer = _sample_tracer()
+        lines = to_jsonl(tracer).strip().splitlines()
+        assert len(lines) == len(tracer.events)
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["name"] == "deploy s1"
+        assert parsed[1]["id"] == "msg1"
+
+
+class TestChromeTrace:
+    def test_valid_against_schema(self):
+        doc = to_chrome_trace(_sample_tracer(), registry=_sample_registry())
+        validate_chrome_trace(doc)  # must not raise
+        json.dumps(doc)  # and be serializable
+
+    def test_timestamps_in_microseconds(self):
+        doc = to_chrome_trace(_sample_tracer())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete[0]["ts"] == pytest.approx(2000.0)  # 0.002 s
+        assert complete[0]["dur"] == pytest.approx(500.0)  # 0.5 ms
+
+    def test_tracks_become_named_threads(self):
+        doc = to_chrome_trace(_sample_tracer())
+        meta = {e["args"]["name"]: e["tid"]
+                for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert set(meta) == {"switch/1", "bus", "seeder"}
+        assert len(set(meta.values())) == 3  # distinct tids
+
+    def test_registry_snapshot_rides_along(self):
+        doc = to_chrome_trace(_sample_tracer(), registry=_sample_registry())
+        metrics = doc["otherData"]["metrics"]
+        assert metrics["farm_bus_bytes_total"]["series"][0]["value"] == 4096
+
+    def test_validator_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"nope": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "Z", "name": "x",
+                                                    "pid": 1, "tid": 1}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0.0}]})
+        with pytest.raises(ValueError):  # async end without begin
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "e", "name": "x", "cat": "c", "id": "1",
+                 "pid": 1, "tid": 1, "ts": 0.0}]})
+
+    def test_write_validates_and_is_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_sample_tracer(), str(path),
+                           registry=_sample_registry())
+        loaded = json.loads(path.read_text())
+        validate_chrome_trace(loaded)
+        assert loaded["otherData"]["clock"] == "sim-time"

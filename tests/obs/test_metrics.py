@@ -1,0 +1,136 @@
+"""Metrics registry: counters, gauges, histograms, windows, labels."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    RateWindow,
+    freeze_labels,
+)
+
+
+class TestFreezeLabels:
+    def test_none_and_empty_are_identical(self):
+        assert freeze_labels(None) == ()
+        assert freeze_labels({}) == ()
+
+    def test_sorted_and_stringified(self):
+        assert freeze_labels({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_order_insensitive(self):
+        assert freeze_labels({"a": 1, "b": 2}) \
+            == freeze_labels({"b": 2, "a": 1})
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_get_or_create_returns_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", labels={"sw": 1})
+        b = registry.counter("c_total", labels={"sw": 1})
+        c = registry.counter("c_total", labels={"sw": 2})
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_rate_without_window_is_zero(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc(100)
+        assert counter.rate() == 0.0
+
+
+class TestRateWindow:
+    def test_steady_rate(self):
+        window = RateWindow(window_s=10.0, buckets=10)
+        for t in range(10):
+            window.record(float(t), 5.0)
+        assert window.rate(9.0) == pytest.approx(5.0)
+
+    def test_rate_decays_as_time_advances(self):
+        window = RateWindow(window_s=10.0, buckets=10)
+        window.record(0.0, 100.0)
+        assert window.rate(0.0) == pytest.approx(10.0)
+        # Once the bucket ages out of the ring the rate returns to zero.
+        assert window.rate(50.0) == 0.0
+
+    def test_short_horizon_sees_recent_traffic_only(self):
+        window = RateWindow(window_s=10.0, buckets=10)
+        window.record(1.0, 1000.0)  # old burst
+        window.record(9.5, 10.0)    # recent trickle
+        recent = window.rate(9.5, horizon=1.0)
+        assert recent == pytest.approx(10.0)
+        assert window.rate(9.5) > recent  # full window includes the burst
+
+    def test_counter_windowed_rate_uses_sim_clock(self):
+        clock = {"now": 0.0}
+        registry = MetricsRegistry(clock=lambda: clock["now"])
+        counter = registry.counter("c_total", window_s=5.0)
+        for step in range(10):
+            clock["now"] = step * 0.5
+            counter.inc(50.0)
+        assert counter.rate() == pytest.approx(100.0, rel=0.25)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+        # Cumulative le-semantics: <=0.1 -> 1, <=1.0 -> 3, <=10 -> 4, inf -> 5
+        assert histogram.cumulative_counts() == [1, 3, 4, 5]
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistryReads:
+    def test_value_and_default(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"sw": 1}).inc(7)
+        assert registry.value("c_total", {"sw": 1}) == 7
+        assert registry.value("c_total", {"sw": 9}, default=-1.0) == -1.0
+        assert registry.value("absent") == 0.0
+
+    def test_sum_values_label_subset(self):
+        registry = MetricsRegistry()
+        registry.counter("work", labels={"switch": 1, "core": 0}).inc(1)
+        registry.counter("work", labels={"switch": 1, "core": 1}).inc(2)
+        registry.counter("work", labels={"switch": 2, "core": 0}).inc(4)
+        assert registry.sum_values("work", {"switch": 1}) == 3
+        assert registry.sum_values("work") == 7
+
+    def test_snapshot_is_jsonable(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("c_total", help_text="help").inc(2)
+        registry.gauge("g", labels={"sw": 3}).set(1.5)
+        registry.histogram("h").observe(0.2)
+        snap = registry.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["c_total"]["kind"] == "counter"
+        assert snap["c_total"]["series"][0]["value"] == 2
+        assert snap["g"]["series"][0]["labels"] == {"sw": "3"}
+        assert snap["h"]["series"][0]["count"] == 1

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.switchsim",
     "repro.almanac",
     "repro.core",
+    "repro.obs",
     "repro.placement",
     "repro.baselines",
     "repro.tasks",
