@@ -17,6 +17,9 @@ Writes ``BENCH_perf.json`` (see ``--out``) with four measurements:
                    ``OBS_OVERHEAD_BOUND``; plus a short fully-traced
                    scenario whose Chrome trace and Prometheus dump become
                    CI artifacts (``--artifacts DIR``).
+* ``scarecrow``  — wall-clock of the Fig. 6 ML workload with the
+                   Scarecrow TSDB scraper running at a 1 s interval vs
+                   not at all, gated at ``SCARECROW_OVERHEAD_BOUND``.
 
 ``differential_ok`` asserts interpreted and compiled traces are identical
 on a representative machine; CI gates on it, on ``fig6`` output equality,
@@ -262,6 +265,41 @@ def bench_placement(quick: bool) -> dict:
 #: (disabled) tracer attached — the "near-zero-cost when off" claim.
 OBS_OVERHEAD_BOUND = 0.03
 
+#: Maximum tolerated wall-clock slowdown of the Fig. 6 ML workload from
+#: running the Scarecrow scraper at a 1 s sim-time interval.
+SCARECROW_OVERHEAD_BOUND = 0.05
+
+
+def bench_scarecrow(quick: bool) -> dict:
+    """Wall-clock cost of 1 s-interval TSDB scraping on the Fig. 6 ML
+    workload, scraping enabled vs disabled (best-of-3 per arm)."""
+    seed_counts = (10, 20) if quick else (10, 20, 40)
+    duration = 2.0 if quick else 5.0
+    iterations = 5 if quick else 10
+    walls = {}
+    for label, interval in (("disabled", None), ("enabled", 1.0)):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            run_fig6_seed_scaling(task="ml", seed_counts=seed_counts,
+                                  iterations=iterations,
+                                  duration_s=duration,
+                                  scrape_interval_s=interval)
+            best = min(best, time.perf_counter() - start)
+        walls[label] = best
+    overhead = max(0.0, walls["enabled"] / walls["disabled"] - 1.0)
+    return {
+        "task": "ml",
+        "seed_counts": list(seed_counts),
+        "duration_s": duration,
+        "scrape_interval_s": 1.0,
+        "disabled_wall_s": walls["disabled"],
+        "enabled_wall_s": walls["enabled"],
+        "overhead_fraction": overhead,
+        "overhead_bound": SCARECROW_OVERHEAD_BOUND,
+        "overhead_ok": overhead <= SCARECROW_OVERHEAD_BOUND,
+    }
+
 
 def bench_observability(events: int, artifact_dir=None) -> dict:
     """Disabled-instrumentation overhead + a short fully-traced scenario."""
@@ -372,6 +410,7 @@ def main() -> int:
         "placement": bench_placement(args.quick),
         "observability": bench_observability(dispatch_events,
                                              artifact_dir=args.artifacts),
+        "scarecrow": bench_scarecrow(args.quick),
     }
 
     out = Path(args.out) if args.out else (
@@ -399,6 +438,11 @@ def main() -> int:
           f"(bound {obs['overhead_bound'] * 100:.0f}%), traced scenario "
           f"{obs['scenario']['trace_events']} events in "
           f"{obs['scenario']['wall_s']:.2f}s")
+    sc = report["scarecrow"]
+    print(f"scarecrow: fig6 ml {sc['disabled_wall_s']:.2f}s unscraped, "
+          f"{sc['enabled_wall_s']:.2f}s with 1s scrapes "
+          f"({sc['overhead_fraction'] * 100:.2f}% overhead, bound "
+          f"{sc['overhead_bound'] * 100:.0f}%)")
     print(f"wrote {out}")
 
     if not report["differential_ok"]:
@@ -411,6 +455,11 @@ def main() -> int:
         print(f"FAIL: disabled-instrumentation overhead "
               f"{obs['overhead_fraction']:.3f} exceeds bound "
               f"{obs['overhead_bound']:.3f}", file=sys.stderr)
+        return 1
+    if not sc["overhead_ok"]:
+        print(f"FAIL: scarecrow scrape overhead "
+              f"{sc['overhead_fraction']:.3f} exceeds bound "
+              f"{sc['overhead_bound']:.3f}", file=sys.stderr)
         return 1
     return 0
 

@@ -8,7 +8,11 @@ acceptance scenario: an unreliable control plane degrades control
 *traffic*, not monitoring *coverage*.
 """
 
-from repro.eval import format_table, run_chaos_resilience
+from repro.eval import (
+    format_table,
+    run_chaos_resilience,
+    run_scarecrow_chaos,
+)
 
 
 def test_chaos_resilience(once):
@@ -41,3 +45,25 @@ def test_chaos_resilience(once):
     assert all(p.messages_dropped > 0 for p in lossy)
     assert lossy[-1].retransmissions >= lossy[0].retransmissions
     assert lossy[-1].retransmissions > 0
+
+
+def test_scarecrow_alert_lifecycle(once):
+    """A mid-run switch partition must show up as a firing alert — and
+    the alert must resolve once the partition heals and the seeder
+    recovers the parked monitoring.
+    """
+    point = once(run_scarecrow_chaos)
+    print("\nScarecrow — alert lifecycle around a 30 s switch partition:")
+    print(format_table(
+        ["sim t", "rule", "state"],
+        [(f"{t:.1f}s", rule, state) for t, rule, state in point.alert_log]))
+
+    # The MU-degradation alert fires within 30 sim-seconds of loss onset.
+    assert point.firing_delay_s is not None
+    assert point.firing_delay_s <= 30.0
+    # The incident was real: seeds were actually parked by failover.
+    assert point.parked_peak >= 1.0
+    # And it resolves after the partition heals.
+    assert point.resolved
+    # The scraper ran for the whole scenario (1 s cadence, inclusive).
+    assert point.scrapes >= point.duration_s

@@ -18,6 +18,8 @@ from repro.net.controller import SdnController
 from repro.net.topology import Topology, spine_leaf
 from repro.net.traffic import Workload
 from repro.obs import Observability
+from repro.obs.scarecrow import Scarecrow
+from repro.obs.tsdb import Retention
 from repro.sim.engine import Simulator
 from repro.switchsim.chassis import ACCTON_AS5712, SwitchFleet, SwitchModel
 
@@ -47,6 +49,7 @@ class FarmDeployment:
                              soil_config=soil_config, solver=solver,
                              retry_policy=retry_policy)
         self.chaos: Optional[FaultInjector] = None
+        self.scarecrow: Optional[Scarecrow] = None
 
     @property
     def metrics(self):
@@ -67,6 +70,23 @@ class FarmDeployment:
             self.chaos = FaultInjector(self.sim, seed=seed)
             self.chaos.attach(self.bus)
         return self.chaos
+
+    def enable_scarecrow(self, interval_s: float = 1.0,
+                         retention: Optional[Retention] = None) -> Scarecrow:
+        """Attach the self-monitoring pipeline: a periodic scraper over
+        the deployment registry, feeding the sim-time TSDB and alert
+        engine.  Everything the deployment publishes — bus, soils,
+        seeder, fault tolerance, per-switch CPU/PCIe/TCAM — becomes
+        queryable and dashboard-able.  Idempotent; returns the bundle so
+        callers can ``add_rule`` / ``write_dashboard``.
+        """
+        if self.scarecrow is None:
+            self.scarecrow = Scarecrow(self.sim, self.obs.registry,
+                                       tracer=self.obs.tracer,
+                                       interval_s=interval_s,
+                                       retention=retention)
+            self.scarecrow.start()
+        return self.scarecrow
 
     def start_workload(self, workload: Workload, switch_id: int) -> Workload:
         """Attach a workload's flows to one switch's ASIC."""

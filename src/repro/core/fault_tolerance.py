@@ -91,6 +91,9 @@ class FaultToleranceManager:
         self._g_parked = self.metrics.gauge(
             "farm_ft_parked_seeds",
             "Seeds displaced by failures with nowhere to go.")
+        self._m_external_suspicions = self.metrics.counter(
+            "farm_ft_external_suspicions_total",
+            "Suspicions raised by outside evidence (e.g. alert rules).")
         self.bus.register(HEARTBEAT_ENDPOINT, self._on_heartbeat)
         self._timers: List[PeriodicTimer] = []
         for switch_id, soil in seeder.soils.items():
@@ -174,6 +177,27 @@ class FaultToleranceManager:
                                        args={"missed": health.missed})
                 if health.missed >= self.confirm_limit:
                     self._handle_failure(health)
+
+    def external_suspicion(self, switch_id: int, source: str = "") -> bool:
+        """Mark a switch *suspected* on outside evidence (e.g. a firing
+        Scarecrow alert).  Evidence only: the suspicion is cleared by the
+        next heartbeat like any other, and confirmation still requires
+        ``confirm_limit`` silent periods — an alert rule can never fail
+        over a healthy switch on its own.  Returns True if the switch
+        was newly marked suspected.
+        """
+        health = self.health.get(switch_id)
+        if health is None or health.failed or health.suspected:
+            return False
+        health.suspected = True
+        health.suspected_at = self.sim.now
+        self._m_external_suspicions.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"suspected sw{switch_id} (external)",
+                           track="seeder", cat="fault-tolerance",
+                           args={"source": source})
+        return True
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -9,6 +9,7 @@ from repro.eval.experiments import (
     DetectionResult,
     NetworkLoadPoint,
     PlacementPoint,
+    ScarecrowChaosPoint,
     SeedScalingPoint,
     run_fig4_network_load,
     run_fig5_cpu_load,
@@ -18,6 +19,7 @@ from repro.eval.experiments import (
     run_fig9_aggregation,
     run_chaos_resilience,
     run_fig10_comm_latency,
+    run_scarecrow_chaos,
     run_tab4_responsiveness,
 )
 from repro.eval.reporting import (
@@ -32,11 +34,11 @@ __all__ = [
     "AggregationPoint", "BusLoadPoint", "ChaosResiliencePoint",
     "CommLatencyPoint", "CpuLoadPoint",
     "DetectionResult", "NetworkLoadPoint", "PlacementPoint",
-    "SeedScalingPoint",
+    "ScarecrowChaosPoint", "SeedScalingPoint",
     "run_fig4_network_load", "run_fig5_cpu_load", "run_fig6_seed_scaling",
     "run_fig7_placement", "run_fig8_pcie", "run_fig9_aggregation",
     "run_chaos_resilience", "run_fig10_comm_latency",
-    "run_tab4_responsiveness",
+    "run_scarecrow_chaos", "run_tab4_responsiveness",
     "format_latency", "format_rate", "format_table", "linear_slope",
     "series_by",
 ]

@@ -6,11 +6,17 @@ Usage::
     python -m repro.eval fig8 fig9 fig10
     python -m repro.eval all              # everything (slow)
     python -m repro.eval fig4 --json out.json
+    python -m repro.eval dashboard --out dashboard.html
 
 Each experiment prints the paper-style rows via the same drivers the
 benchmark suite uses.  ``--json PATH`` additionally dumps every result
 row as structured JSON (via :mod:`repro.eval.reporting`), for plotting
 or regression diffing without re-running the simulations.
+
+``dashboard`` runs the Scarecrow chaos scenario (one switch partitioned
+mid-run, alert rules watching) and writes the whole run as one
+self-contained HTML dashboard (``--out``, default ``dashboard.html`` —
+no external assets, opens from file:// or a CI artifact).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.eval import (
     run_fig8_pcie,
     run_fig9_aggregation,
     run_fig10_comm_latency,
+    run_scarecrow_chaos,
     run_tab4_responsiveness,
 )
 from repro.eval.reporting import write_json
@@ -131,9 +138,24 @@ def _fig10():
     return points
 
 
+def _scarecrow(dashboard_path=None):
+    print("Scarecrow — chaos run observed by the telemetry pipeline")
+    point = run_scarecrow_chaos(dashboard_path=dashboard_path)
+    print(format_table(
+        ["sim t", "rule", "state"],
+        [(f"{t:.1f}s", rule, state) for t, rule, state in point.alert_log]))
+    delay = ("-" if point.firing_delay_s is None
+             else f"{point.firing_delay_s:.1f}s after loss start")
+    print(f"  mu-degradation fired: {delay}; resolved after recovery: "
+          f"{point.resolved}; peak parked seeds: {point.parked_peak:.0f}; "
+          f"scrapes: {point.scrapes}")
+    return point
+
+
 EXPERIMENTS = {
     "tab4": _tab4, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
     "fig7": _fig7, "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
+    "scarecrow": _scarecrow,
 }
 
 
@@ -147,10 +169,23 @@ def main(argv) -> int:
             return 2
         json_path = args[index + 1]
         del args[index:index + 2]
+    if args and args[0] == "dashboard":
+        out = "dashboard.html"
+        if "--out" in args:
+            index = args.index("--out")
+            if index + 1 >= len(args):
+                print("--out requires a path", file=sys.stderr)
+                return 2
+            out = args[index + 1]
+            del args[index:index + 2]
+        _scarecrow(dashboard_path=out)
+        print(f"[dashboard written to {out}]")
+        return 0
     names = args or ["--help"]
     if names in (["--help"], ["-h"]):
         print(__doc__)
-        print("experiments:", ", ".join(sorted(EXPERIMENTS)), "| all")
+        print("experiments:", ", ".join(sorted(EXPERIMENTS)), "| all",
+              "| dashboard --out PATH")
         return 0
     if names == ["all"]:
         names = sorted(EXPERIMENTS)

@@ -343,17 +343,27 @@ def run_fig6_seed_scaling(
         accuracy_ms: float = 10.0,
         seed_counts: Tuple[int, ...] = (10, 20, 40, 60, 80, 100),
         iterations: int = 1,
-        duration_s: float = 2.0) -> List[SeedScalingPoint]:
+        duration_s: float = 2.0,
+        scrape_interval_s: Optional[float] = None) -> List[SeedScalingPoint]:
     """Fig. 6: CPU load of N collocated seeds at a fixed polling accuracy.
 
     ``task='hh'`` uses the light statistics handler; ``task='ml'`` runs
     ``iterations`` SVR evaluations per poll via exec() (Fig. 6c/d).
+    ``scrape_interval_s`` additionally runs a Scarecrow scraper over the
+    switch registry at that sim-interval — the workload is unchanged, so
+    the perf harness can price the self-monitoring overhead by diffing
+    wall clock against a scrape-disabled run.
     """
+    from repro.obs.tsdb import Scraper, TimeSeriesStore
+
     points: List[SeedScalingPoint] = []
     for count in seed_counts:
         sim = Simulator()
         switch = Switch(sim, 1)
         soil = Soil(sim, switch, driver_for(switch), ControlBus(sim))
+        if scrape_interval_s is not None:
+            Scraper(sim, switch.metrics, TimeSeriesStore(),
+                    interval_s=scrape_interval_s).start()
         if task == "ml":
             # Charge the measured-equivalent switch-CPU cost per iteration;
             # skip the real matmul here (the benchmark measures switch load,
@@ -628,3 +638,91 @@ def run_chaos_resilience(
             lost_commands=seeder.lost_commands,
             messages_dropped=chaos.messages_dropped))
     return points
+
+
+# ---------------------------------------------------------------------------
+# Scarecrow — self-monitoring under chaos (alert lifecycle + dashboard)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScarecrowChaosPoint:
+    """Outcome of one chaos run observed end-to-end by Scarecrow."""
+
+    loss_start_s: float
+    loss_end_s: float
+    duration_s: float
+    #: ``(sim_t, rule, state)`` for every alert lifecycle transition.
+    alert_log: List[Tuple[float, str, str]]
+    #: sim-seconds from loss-phase start to mu-degradation firing.
+    firing_delay_s: Optional[float]
+    #: did the mu-degradation alert resolve after the partition healed?
+    resolved: bool
+    external_suspicions: int
+    parked_peak: float
+    scrapes: int
+
+
+def run_scarecrow_chaos(duration_s: float = 80.0,
+                        loss_start_s: float = 10.0,
+                        loss_end_s: float = 40.0,
+                        chaos_seed: int = 11,
+                        scrape_interval_s: float = 1.0,
+                        dashboard_path: Optional[str] = None
+                        ) -> ScarecrowChaosPoint:
+    """Partition one switch mid-run and let the telemetry pipeline tell
+    the story: the fault-tolerance layer parks the victim's pinned seeds,
+    the ``mu-degradation`` threshold rule fires off the parked-seeds
+    gauge, an EWMA rule flags the heartbeat-rate drop, and both resolve
+    once the partition heals.  ``dashboard_path`` additionally renders
+    the whole run as a self-contained HTML dashboard.
+    """
+    from repro.core.fault_tolerance import FaultToleranceManager
+    from repro.obs.alerts import FIRING, RESOLVED, EwmaAnomalyRule, ThresholdRule
+
+    farm = FarmDeployment(topology=spine_leaf(1, 2, 1))
+    chaos = farm.enable_chaos(seed=chaos_seed)
+    farm.submit(make_hh_task(threshold=HH_THRESHOLD_BPS, accuracy_ms=10))
+    ft = FaultToleranceManager(farm.seeder)
+    scarecrow = farm.enable_scarecrow(interval_s=scrape_interval_s)
+    scarecrow.add_rule(ThresholdRule(
+        "mu-degradation", "farm_ft_parked_seeds", op=">", threshold=0.0,
+        for_s=2.0, severity="critical",
+        description="Seeds displaced by a failure with nowhere to go: "
+                    "planned monitoring utility is not being delivered."))
+    scarecrow.add_rule(EwmaAnomalyRule(
+        "bus-drop-anomaly", "farm_bus_chaos_dropped_total",
+        reducer="rate", window_s=5.0, direction="above",
+        z_threshold=4.0, min_samples=5, severity="warning",
+        description="Control-bus message drop rate spiked above its "
+                    "EWMA baseline (chaos or congestion eating "
+                    "heartbeats/reports)."))
+    scarecrow.feed_fault_tolerance(ft)
+
+    victim = max(farm.seeder.soils)
+    chaos.partition_switch(victim, at=loss_start_s,
+                           duration=loss_end_s - loss_start_s)
+    farm.run(until=duration_s)
+    scarecrow.scrape_once()
+
+    events = scarecrow.events_for("mu-degradation")
+    fired = [e.t for e in events if e.state == FIRING]
+    resolved = [e.t for e in events
+                if e.state == RESOLVED and e.t >= loss_end_s]
+    parked = scarecrow.engine.max_over_time("farm_ft_parked_seeds")
+    if dashboard_path is not None:
+        scarecrow.write_dashboard(
+            dashboard_path, title="Scarecrow — chaos run",
+            subtitle=f"switch {victim} partitioned "
+                     f"[{loss_start_s:g}s – {loss_end_s:g}s] of "
+                     f"{duration_s:g}s; scrape every "
+                     f"{scrape_interval_s:g}s")
+    return ScarecrowChaosPoint(
+        loss_start_s=loss_start_s, loss_end_s=loss_end_s,
+        duration_s=duration_s,
+        alert_log=[(e.t, e.rule, e.state) for e in scarecrow.log],
+        firing_delay_s=(fired[0] - loss_start_s) if fired else None,
+        resolved=bool(resolved),
+        external_suspicions=int(
+            farm.metrics.value("farm_ft_external_suspicions_total")),
+        parked_peak=max(parked.values()) if parked else 0.0,
+        scrapes=int(farm.metrics.value("scarecrow_scrapes_total")))

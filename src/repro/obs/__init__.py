@@ -41,7 +41,31 @@ from repro.obs.metrics import (
     RateWindow,
     freeze_labels,
 )
+from repro.obs.alerts import (
+    FIRING,
+    PENDING,
+    RESOLVED,
+    SCARECROW_TRACK,
+    SUPPRESSED,
+    AlertEvent,
+    AlertManager,
+    AlertRule,
+    EwmaAnomalyRule,
+    ThresholdRule,
+)
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.query import QueryEngine, Vector, parse_selector
+from repro.obs.scarecrow import Scarecrow
 from repro.obs.trace import MAX_TRACE_EVENTS, NULL_SPAN, NULL_TRACER, Span, Tracer
+from repro.obs.tsdb import (
+    SCRAPE_PRIORITY,
+    Point,
+    Retention,
+    Scraper,
+    Series,
+    TimeSeriesStore,
+    merge_points,
+)
 
 
 class Observability:
@@ -83,7 +107,12 @@ class Observability:
 
 
 __all__ = [
+    "AlertEvent",
+    "AlertManager",
+    "AlertRule",
     "Counter",
+    "EwmaAnomalyRule",
+    "FIRING",
     "Gauge",
     "Histogram",
     "MAX_TRACE_EVENTS",
@@ -91,10 +120,28 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "Observability",
+    "PENDING",
+    "Point",
+    "QueryEngine",
+    "RESOLVED",
     "RateWindow",
+    "Retention",
+    "SCARECROW_TRACK",
+    "SCRAPE_PRIORITY",
+    "SUPPRESSED",
+    "Scarecrow",
+    "Scraper",
+    "Series",
     "Span",
+    "ThresholdRule",
+    "TimeSeriesStore",
     "Tracer",
+    "Vector",
     "freeze_labels",
+    "merge_points",
+    "parse_selector",
+    "render_dashboard",
+    "write_dashboard",
     "parse_prometheus_text",
     "to_chrome_trace",
     "to_jsonl",

@@ -66,7 +66,7 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
             if family.kind == "histogram":
                 cumulative = child.cumulative_counts()
                 for bound, count in zip(child.buckets, cumulative[:-1]):
-                    labels = _format_labels(key, {"le": repr(bound)})
+                    labels = _format_labels(key, {"le": _format_value(bound)})
                     lines.append(f"{family.name}_bucket{labels} {count}")
                 labels = _format_labels(key, {"le": "+Inf"})
                 lines.append(f"{family.name}_bucket{labels} {child.count}")
@@ -80,20 +80,50 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _end_of_label_block(line: str, start: int) -> int:
+    """Index just past the ``}`` closing the label block opened at
+    ``start`` (which must point at ``{``), honoring quotes and
+    backslash escapes so a ``}`` inside a label value doesn't end the
+    block early."""
+    i, n = start + 1, len(line)
+    in_quote = False
+    while i < n:
+        ch = line[i]
+        if in_quote:
+            if ch == "\\":
+                i += 1  # skip the escaped character
+            elif ch == '"':
+                in_quote = False
+        elif ch == '"':
+            in_quote = True
+        elif ch == "}":
+            return i + 1
+        i += 1
+    raise ValueError(f"unterminated label block: {line!r}")
+
+
 def parse_prometheus_text(text: str) -> Dict[str, float]:
     """Minimal exposition-format parser (round-trip testing aid).
 
     Returns ``{"name{k=\"v\",...}": value}`` with labels in the order they
-    appear on the line.  Handles the subset :func:`to_prometheus_text`
-    emits; not a general scraper.
+    appear on the line.  The label block is scanned quote-aware, so label
+    values containing spaces (or escaped quotes/backslashes) keep the key
+    intact instead of being split at the last space on the line.  Handles
+    the subset :func:`to_prometheus_text` emits; not a general scraper.
     """
     out: Dict[str, float] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        name_part, _, value_part = line.rpartition(" ")
-        if not name_part:
+        brace = line.find("{")
+        if brace != -1:
+            end = _end_of_label_block(line, brace)
+            name_part, value_part = line[:end], line[end:].strip()
+        else:
+            name_part, _, value_part = line.rpartition(" ")
+            name_part = name_part.rstrip()
+        if not name_part or not value_part:
             raise ValueError(f"malformed exposition line: {line!r}")
         value = float(value_part)
         out[name_part] = value

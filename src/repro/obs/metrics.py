@@ -26,6 +26,7 @@ Design notes
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 LabelValues = Tuple[Tuple[str, str], ...]
@@ -166,11 +167,9 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.sum += value
         self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        # bisect_left finds the first bound with value <= bound; past the
+        # last bound it lands on the +Inf slot at counts[-1].
+        self.counts[bisect_left(self.buckets, value)] += 1
 
     def cumulative_counts(self) -> List[int]:
         """Per-bucket cumulative counts (Prometheus ``le`` semantics)."""

@@ -228,14 +228,19 @@ class Simulator:
     # Convenience
     # ------------------------------------------------------------------
     def every(self, interval: float, callback: Callable[..., None], *args: Any,
-              start_after: Optional[float] = None, label: str = "") -> "PeriodicTimer":
+              start_after: Optional[float] = None, label: str = "",
+              priority: int = NORMAL_PRIORITY) -> "PeriodicTimer":
         """Create a periodic timer firing ``callback`` every ``interval``.
 
         The first firing happens after ``start_after`` (defaults to one
         interval).  The returned timer supports :meth:`PeriodicTimer.stop` and
-        dynamic :meth:`PeriodicTimer.reschedule`.
+        dynamic :meth:`PeriodicTimer.reschedule`.  ``priority`` orders the
+        timer against other events at the same instant — observers (e.g. the
+        Scarecrow scraper) use a high value so they fire after the state
+        they observe has settled.
         """
-        timer = PeriodicTimer(self, interval, callback, args, label=label)
+        timer = PeriodicTimer(self, interval, callback, args, label=label,
+                              priority=priority)
         timer.start(start_after)
         return timer
 
@@ -250,7 +255,8 @@ class PeriodicTimer:
 
     def __init__(self, sim: Simulator, interval: float,
                  callback: Callable[..., None], args: tuple = (),
-                 label: str = "") -> None:
+                 label: str = "",
+                 priority: int = NORMAL_PRIORITY) -> None:
         if interval <= 0:
             raise SimulationError(f"timer interval must be positive: {interval}")
         self.sim = sim
@@ -258,6 +264,7 @@ class PeriodicTimer:
         self.callback = callback
         self.args = args
         self.label = label
+        self.priority = priority
         self._event: Optional[Event] = None
         self._stopped = True
         self.fire_count = 0
@@ -270,7 +277,8 @@ class PeriodicTimer:
         """Arm the timer; first firing after ``start_after`` (default: interval)."""
         self._stopped = False
         delay = self.interval if start_after is None else start_after
-        self._event = self.sim.schedule(delay, self._fire, label=self.label)
+        self._event = self.sim.schedule(delay, self._fire, label=self.label,
+                                        priority=self.priority)
 
     def stop(self) -> None:
         """Disarm the timer.  Idempotent."""
@@ -287,7 +295,8 @@ class PeriodicTimer:
         if not self._stopped:
             if self._event is not None:
                 self._event.cancel()
-            self._event = self.sim.schedule(interval, self._fire, label=self.label)
+            self._event = self.sim.schedule(interval, self._fire, label=self.label,
+                                            priority=self.priority)
 
     def _fire(self) -> None:
         if self._stopped:
@@ -295,7 +304,8 @@ class PeriodicTimer:
         self.fire_count += 1
         # Schedule the next firing before running the callback so the callback
         # may call reschedule()/stop() and win.
-        self._event = self.sim.schedule(self.interval, self._fire, label=self.label)
+        self._event = self.sim.schedule(self.interval, self._fire, label=self.label,
+                                        priority=self.priority)
         self.callback(*self.args)
 
 

@@ -1,7 +1,5 @@
 """CLI (`python -m repro.eval`) tests."""
 
-import pytest
-
 from repro.eval.__main__ import EXPERIMENTS, main
 
 
@@ -18,7 +16,7 @@ class TestCli:
 
     def test_registry_covers_every_artifact(self):
         assert set(EXPERIMENTS) == {"tab4", "fig4", "fig5", "fig6", "fig7",
-                                    "fig8", "fig9", "fig10"}
+                                    "fig8", "fig9", "fig10", "scarecrow"}
 
     def test_fast_experiment_runs(self, capsys):
         assert main(["prog", "fig10"]) == 0

@@ -83,6 +83,45 @@ class TestPrometheus:
         text = to_prometheus_text(registry)
         assert r'path="a\"b\\c"' in text
 
+    def test_round_trip_with_spaces_in_label_values(self):
+        # Label values containing spaces must not split the metric key
+        # at the wrong place (the old rpartition-on-last-space bug).
+        registry = MetricsRegistry()
+        registry.counter("c_total",
+                         labels={"task": "heavy hitter detect"}).inc(5)
+        registry.gauge("g", labels={"desc": "a b c", "sw": "1"}).set(2.5)
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert parsed['c_total{task="heavy hitter detect"}'] == 5
+        assert parsed['g{desc="a b c",sw="1"}'] == 2.5
+
+    def test_round_trip_with_escaped_quotes_and_braces(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total",
+                         labels={"expr": 'rate{x="a b"} > 1'}).inc(7)
+        text = to_prometheus_text(registry)
+        parsed = parse_prometheus_text(text)
+        # The escaped quote and the inner brace both survive parsing.
+        (key,) = parsed
+        assert parsed[key] == 7
+        assert r'\"a b\"' in key and key.startswith("c_total{")
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text('broken{x="unterminated 5')
+        with pytest.raises(ValueError):
+            parse_prometheus_text('lonely_name_without_value')
+
+    def test_canonical_le_bounds(self):
+        # Bucket bounds render via _format_value: integral bounds print
+        # as integers (le="1", not le="1.0"), fractional bounds bare.
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(0.25, 1.0, 10.0)).observe(0.1)
+        text = to_prometheus_text(registry)
+        assert 'le="0.25"' in text
+        assert 'le="1"' in text
+        assert 'le="10"' in text
+        assert 'le="1.0"' not in text and 'le="10.0"' not in text
+
 
 class TestJsonl:
     def test_one_object_per_line(self):

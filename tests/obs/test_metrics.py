@@ -73,6 +73,32 @@ class TestRateWindow:
         assert recent == pytest.approx(10.0)
         assert window.rate(9.5) > recent  # full window includes the burst
 
+    def test_rate_before_any_record_is_zero(self):
+        window = RateWindow(window_s=10.0, buckets=10)
+        assert window.rate(0.0) == 0.0
+        assert window.rate(123.4) == 0.0
+
+    def test_horizon_longer_than_window_clamps(self):
+        window = RateWindow(window_s=10.0, buckets=10)
+        window.record(5.0, 100.0)
+        # The ring cannot see further back than it is long: a 1000s
+        # horizon must behave exactly like the full 10s window.
+        assert window.rate(9.0, horizon=1000.0) \
+            == pytest.approx(window.rate(9.0))
+
+    def test_identical_timestamps_accumulate(self):
+        window = RateWindow(window_s=10.0, buckets=10)
+        for _ in range(4):
+            window.record(3.0, 2.5)
+        assert window.rate(3.0) == pytest.approx(1.0)  # 10 over 10s
+
+    def test_record_in_stale_past_is_ignored(self):
+        window = RateWindow(window_s=10.0, buckets=10)
+        window.record(50.0, 10.0)
+        before = window.rate(50.0)
+        window.record(1.0, 1000.0)  # far older than the ring
+        assert window.rate(50.0) == pytest.approx(before)
+
     def test_counter_windowed_rate_uses_sim_clock(self):
         clock = {"now": 0.0}
         registry = MetricsRegistry(clock=lambda: clock["now"])
@@ -104,6 +130,33 @@ class TestHistogram:
 
     def test_default_buckets_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_boundary_values_land_in_le_bucket(self):
+        # A value exactly on a bound counts toward that bound (le
+        # semantics); just above it rolls to the next bucket.
+        histogram = MetricsRegistry().histogram(
+            "hb", buckets=(1.0, 2.0, 4.0))
+        for value in (1.0, 2.0, 4.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 0]
+        histogram.observe(4.0000001)
+        assert histogram.counts[-1] == 1
+
+    def test_bisect_matches_linear_scan(self):
+        bounds = (0.5, 1.0, 2.5, 10.0)
+        histogram = MetricsRegistry().histogram("hc", buckets=bounds)
+        values = [0.0, 0.5, 0.75, 1.0, 1.5, 2.5, 3.0, 10.0, 11.0, -1.0]
+        for value in values:
+            histogram.observe(value)
+        expected = [0] * (len(bounds) + 1)
+        for value in values:
+            for i, bound in enumerate(bounds):
+                if value <= bound:
+                    expected[i] += 1
+                    break
+            else:
+                expected[-1] += 1
+        assert histogram.counts == expected
 
 
 class TestRegistryReads:
