@@ -20,6 +20,11 @@ Writes ``BENCH_perf.json`` (see ``--out``) with four measurements:
 * ``scarecrow``  — wall-clock of the Fig. 6 ML workload with the
                    Scarecrow TSDB scraper running at a 1 s interval vs
                    not at all, gated at ``SCARECROW_OVERHEAD_BOUND``.
+* ``remediation`` — the closed-loop gates: a scripted gray failure must
+                   retain at least as much monitoring utility with the
+                   remediation engine acting as with detection only, and
+                   an attached-but-idle engine must cost no more than
+                   ``REMEDIATION_OVERHEAD_BOUND`` wall-clock.
 
 ``differential_ok`` asserts interpreted and compiled traces are identical
 on a representative machine; CI gates on it, on ``fig6`` output equality,
@@ -33,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -265,6 +271,44 @@ def bench_placement(quick: bool) -> dict:
 #: (disabled) tracer attached — the "near-zero-cost when off" claim.
 OBS_OVERHEAD_BOUND = 0.03
 
+
+def _paired_overhead(base_arm, test_arm, bound,
+                     rounds: int = 5, attempts: int = 3):
+    """Wall-clock overhead of ``test_arm`` relative to ``base_arm``.
+
+    Each round times both arms back-to-back, alternating which goes
+    first so warm-up favours neither; one measurement set is the median
+    of the per-round wall ratios — robust to the box-speed drift that
+    makes independently-taken minima flap by several percent.  A set
+    that still lands above ``bound`` is re-measured (up to ``attempts``
+    sets, keeping the smallest estimate): a genuine regression fails
+    every set, while a co-tenant load burst fails only the set it
+    happened to hit.
+
+    Returns ``(overhead, best_walls)`` where ``best_walls`` holds the
+    fastest observed wall per arm under keys ``"base"`` and ``"test"``.
+    """
+    arms = {"base": base_arm, "test": test_arm}
+    best = {"base": float("inf"), "test": float("inf")}
+    estimate = float("inf")
+    for _ in range(attempts):
+        ratios = []
+        for round_no in range(rounds):
+            order = (("base", "test") if round_no % 2 == 0
+                     else ("test", "base"))
+            walls = {}
+            for name in order:
+                start = time.perf_counter()
+                arms[name]()
+                walls[name] = time.perf_counter() - start
+                best[name] = min(best[name], walls[name])
+            ratios.append(walls["test"] / walls["base"])
+        estimate = min(estimate,
+                       max(0.0, statistics.median(ratios) - 1.0))
+        if estimate <= bound:
+            break
+    return estimate, best
+
 #: Maximum tolerated wall-clock slowdown of the Fig. 6 ML workload from
 #: running the Scarecrow scraper at a 1 s sim-time interval.
 SCARECROW_OVERHEAD_BOUND = 0.05
@@ -272,65 +316,131 @@ SCARECROW_OVERHEAD_BOUND = 0.05
 
 def bench_scarecrow(quick: bool) -> dict:
     """Wall-clock cost of 1 s-interval TSDB scraping on the Fig. 6 ML
-    workload, scraping enabled vs disabled (best-of-3 per arm)."""
-    seed_counts = (10, 20) if quick else (10, 20, 40)
-    duration = 2.0 if quick else 5.0
-    iterations = 5 if quick else 10
-    walls = {}
-    for label, interval in (("disabled", None), ("enabled", 1.0)):
-        best = float("inf")
-        for _ in range(3):
-            start = time.perf_counter()
+    workload, scraping enabled vs disabled (see ``_paired_overhead``
+    for how the gate resists runner noise).
+
+    The gate ignores ``quick``: a sub-second arm cannot resolve a 5%
+    bound on a noisy runner, so the overhead contract is always
+    measured at full size.
+    """
+    del quick
+    seed_counts = (10, 20, 40)
+    duration = 5.0
+    iterations = 10
+
+    def arm(interval):
+        def run():
             run_fig6_seed_scaling(task="ml", seed_counts=seed_counts,
                                   iterations=iterations,
                                   duration_s=duration,
                                   scrape_interval_s=interval)
-            best = min(best, time.perf_counter() - start)
-        walls[label] = best
-    overhead = max(0.0, walls["enabled"] / walls["disabled"] - 1.0)
+        return run
+
+    overhead, walls = _paired_overhead(arm(None), arm(1.0),
+                                       SCARECROW_OVERHEAD_BOUND)
     return {
         "task": "ml",
         "seed_counts": list(seed_counts),
         "duration_s": duration,
         "scrape_interval_s": 1.0,
-        "disabled_wall_s": walls["disabled"],
-        "enabled_wall_s": walls["enabled"],
+        "disabled_wall_s": walls["base"],
+        "enabled_wall_s": walls["test"],
         "overhead_fraction": overhead,
         "overhead_bound": SCARECROW_OVERHEAD_BOUND,
         "overhead_ok": overhead <= SCARECROW_OVERHEAD_BOUND,
     }
 
 
+#: Maximum tolerated wall-clock slowdown from an attached remediation
+#: engine that never has to act (healthy fabric, alerts all quiet).
+REMEDIATION_OVERHEAD_BOUND = 0.03
+
+
+def bench_remediation(quick: bool) -> dict:
+    """Closed-loop gates on the scripted gray-failure scenario.
+
+    MU gate: the engine acting (drain + restore) must retain at least as
+    much delivery-weighted monitoring utility as detection only.
+    Overhead gate: the same scenario with the gray failure disarmed
+    (loss 0, so no alert ever fires) must cost no more with the engine
+    attached than without (see ``_paired_overhead`` for how the gate
+    resists runner noise).
+    """
+    from repro.eval.experiments import run_remediation_mode
+
+    if quick:
+        scenario = dict(duration_s=40.0, loss_start_s=8.0,
+                        loss_end_s=28.0)
+    else:
+        scenario = dict(duration_s=80.0, loss_start_s=10.0,
+                        loss_end_s=50.0)
+    off = run_remediation_mode("off", **scenario)
+    active = run_remediation_mode("active", **scenario)
+
+    # Idle-engine overhead on a longer healthy run (same length in
+    # quick mode — a sub-second arm swings 10%+ on a busy box, which
+    # dwarfs the 3% bound).
+    idle = dict(duration_s=720.0,
+                loss_start_s=10.0, loss_end_s=50.0, gray_loss=0.0)
+    overhead, walls = _paired_overhead(
+        lambda: run_remediation_mode("off", **idle),
+        lambda: run_remediation_mode("active", **idle),
+        REMEDIATION_OVERHEAD_BOUND)
+    return {
+        "scenario": scenario,
+        "victim": active.victim,
+        "mu_retained_off": off.mu_retained,
+        "mu_retained_active": active.mu_retained,
+        "mu_gain": active.mu_retained - off.mu_retained,
+        "actions": [(r.action, r.switch, r.outcome)
+                    for r in active.records if r.decision == "executed"],
+        "mu_ok": active.mu_retained >= off.mu_retained,
+        "idle_wall_without_engine_s": walls["base"],
+        "idle_wall_with_engine_s": walls["test"],
+        "overhead_fraction": overhead,
+        "overhead_bound": REMEDIATION_OVERHEAD_BOUND,
+        "overhead_ok": overhead <= REMEDIATION_OVERHEAD_BOUND,
+    }
+
+
 def bench_observability(events: int, artifact_dir=None) -> dict:
-    """Disabled-instrumentation overhead + a short fully-traced scenario."""
+    """Disabled-instrumentation overhead + a short fully-traced scenario.
+
+    The overhead gate always fires at least 100k events per arm — the 3%
+    bound is the contract, and shorter arms cannot resolve it against
+    runner noise — so ``--quick`` does not shrink this measurement.
+    """
     from repro.core.deployment import FarmDeployment
     from repro.net.topology import spine_leaf
     from repro.obs.exporters import write_chrome_trace, write_prometheus
     from repro.obs.trace import Tracer
     from repro.tasks.heavy_hitter import make_task as make_hh_task
 
-    def best_rate(instance) -> float:
+    events = max(events, 100_000)
+
+    def arm(instance):
         fire = instance.fire_trigger_var
-        for i in range(min(1000, events)):
-            fire("tick", i)
-        best = 0.0
-        # Best-of-5: the bound is tight, so take the noise floor out.
-        for _ in range(5):
-            start = time.perf_counter()
+
+        def run():
             for i in range(events):
                 fire("tick", i)
-            best = max(best, events / (time.perf_counter() - start))
-        return best
+        return run
 
-    baseline = best_rate(_bench_instance(codegen.BACKEND_COMPILED))
+    plain = _bench_instance(codegen.BACKEND_COMPILED)
     program = parse(BENCH_SOURCE)
     compiled = flatten_machine(program, "Bench")
     traced = MachineInstance(compiled, NullHost(), externals={"bias": 2},
                              backend=codegen.BACKEND_COMPILED,
                              tracer=Tracer(enabled=False))
     traced.start()
-    instrumented = best_rate(traced)
-    overhead = max(0.0, 1.0 - instrumented / baseline)
+    for instance in (plain, traced):
+        fire = instance.fire_trigger_var
+        for i in range(min(1000, events)):
+            fire("tick", i)
+    overhead, obs_walls = _paired_overhead(arm(plain), arm(traced),
+                                           OBS_OVERHEAD_BOUND)
+    baseline = events / obs_walls["base"]
+    instrumented = events / obs_walls["test"]
 
     # Short instrumented Fig. 6-style scenario: HH seeds under chaos with
     # full tracing on; the exports double as CI artifacts.
@@ -411,6 +521,7 @@ def main() -> int:
         "observability": bench_observability(dispatch_events,
                                              artifact_dir=args.artifacts),
         "scarecrow": bench_scarecrow(args.quick),
+        "remediation": bench_remediation(args.quick),
     }
 
     out = Path(args.out) if args.out else (
@@ -443,6 +554,12 @@ def main() -> int:
           f"{sc['enabled_wall_s']:.2f}s with 1s scrapes "
           f"({sc['overhead_fraction'] * 100:.2f}% overhead, bound "
           f"{sc['overhead_bound'] * 100:.0f}%)")
+    rem = report["remediation"]
+    print(f"remediation: MU retained {rem['mu_retained_off']:.0%} off -> "
+          f"{rem['mu_retained_active']:.0%} active "
+          f"(+{rem['mu_gain'] * 100:.1f} pts), idle-engine overhead "
+          f"{rem['overhead_fraction'] * 100:.2f}% (bound "
+          f"{rem['overhead_bound'] * 100:.0f}%)")
     print(f"wrote {out}")
 
     if not report["differential_ok"]:
@@ -460,6 +577,16 @@ def main() -> int:
         print(f"FAIL: scarecrow scrape overhead "
               f"{sc['overhead_fraction']:.3f} exceeds bound "
               f"{sc['overhead_bound']:.3f}", file=sys.stderr)
+        return 1
+    if not rem["mu_ok"]:
+        print(f"FAIL: remediation retained less MU than detection only "
+              f"({rem['mu_retained_active']:.3f} < "
+              f"{rem['mu_retained_off']:.3f})", file=sys.stderr)
+        return 1
+    if not rem["overhead_ok"]:
+        print(f"FAIL: idle remediation engine overhead "
+              f"{rem['overhead_fraction']:.3f} exceeds bound "
+              f"{rem['overhead_bound']:.3f}", file=sys.stderr)
         return 1
     return 0
 

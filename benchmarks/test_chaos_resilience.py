@@ -11,6 +11,7 @@ acceptance scenario: an unreliable control plane degrades control
 from repro.eval import (
     format_table,
     run_chaos_resilience,
+    run_remediation_loop,
     run_scarecrow_chaos,
 )
 
@@ -67,3 +68,33 @@ def test_scarecrow_alert_lifecycle(once):
     assert point.resolved
     # The scraper ran for the whole scenario (1 s cadence, inclusive).
     assert point.scrapes >= point.duration_s
+
+
+def test_mu_retained_under_remediation(once):
+    """The closed loop pays for itself: under a gray failure the built-in
+    detector cannot confirm, the remediation engine (drain on firing,
+    restore on resolve) must retain strictly more delivery-weighted MU
+    than detection alone — while a dry-run engine makes the identical
+    decisions and changes nothing.
+    """
+    cmp = once(run_remediation_loop,
+               duration_s=40.0, loss_start_s=8.0, loss_end_s=28.0)
+    print("\nRemediation — retained MU across engine modes:")
+    print(format_table(
+        ["mode", "victim", "MU retained", "decisions"],
+        [(p.mode, p.victim, f"{p.mu_retained:.0%}", len(p.decisions))
+         for p in (cmp.off, cmp.dry, cmp.active)]))
+
+    # The gray failure hurt: detection alone lost real coverage.
+    assert cmp.off.mu_retained < 0.9
+    # Acting won it back — strictly better, and by a wide margin.
+    assert cmp.active.mu_retained > cmp.off.mu_retained
+    assert cmp.mu_gain > 0.1
+    # The engine actually drained and restored the victim.
+    executed = [r.action for r in cmp.active.records
+                if r.decision == "executed"]
+    assert "drain" in executed
+    assert "restore" in executed
+    # Dry-run fidelity: same decisions, untouched simulation.
+    assert cmp.dry_matches_active
+    assert cmp.dry_changed_nothing

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Remediation tour: the same gray failure with and without the loop.
+
+A fleet of movable probe seeds runs on a small spine-leaf fabric.  Then
+one switch goes *gray*: 75% of its outbound control plane — heartbeats,
+telemetry — silently disappears, without the hard partition the built-in
+two-stage failure detector needs to confirm a death.  Detection alone
+watches the ``heartbeat-degraded`` alert fire while monitoring coverage
+rots.
+
+The closed loop turns the alert into action.  The scenario runs three
+ways on the identical scripted fault:
+
+* **off**    — detection only: the alert fires, nothing acts,
+* **dry**    — the remediation engine decides (policies + guardrails)
+  but executes nothing; the simulation must match "off" exactly,
+* **active** — ``DrainPolicy`` cordons the gray switch and re-places its
+  seeds on healthy peers the moment the alert fires, then restores it
+  once the alert resolves; ``EscalatePolicy`` stands by to force a
+  failover if the alert keeps re-firing.
+
+Every decision — executed, dry-run, or refused by a guardrail
+(cooldown, flap suppression, concurrency budget, blast radius) — lands
+in the RemediationLog with its alert -> decision -> action -> outcome
+chain, and on the tracer's ``remediation`` track.  The active run is
+rendered as ``remediation.html`` with the decision timeline inlined.
+
+See docs/remediation.md for the policy model and guardrail semantics.
+
+Run:  python examples/remediation_tour.py
+"""
+
+from repro.eval.experiments import run_remediation_loop
+
+DASHBOARD_PATH = "remediation.html"
+
+
+def main() -> None:
+    cmp = run_remediation_loop(dashboard_path=DASHBOARD_PATH)
+
+    print("[scenario] gray failure on the busiest switch: 75% outbound "
+          "loss from 10s to 50s")
+    print("[alerts (active run)]")
+    for t, rule, state in cmp.active.alert_log:
+        print(f"  {t:6.1f}s  {rule:<20} {state}")
+    print("[decisions (active run)]")
+    for rec in cmp.active.records:
+        verdict = (f"{rec.decision} ({rec.blocked_by})" if rec.blocked_by
+                   else rec.decision)
+        outcome = f" -> {rec.outcome}" if rec.outcome else ""
+        print(f"  {rec.t:6.1f}s  {rec.action:<8} sw{rec.switch}  "
+              f"{verdict}{outcome}")
+    print("[retained MU]")
+    for point in (cmp.off, cmp.dry, cmp.active):
+        print(f"  {point.mode:<7} {point.mu_retained:7.1%}")
+    print(f"[verdict] closing the loop recovered "
+          f"{cmp.mu_gain * 100:.1f} pts of monitoring utility; "
+          f"dry-run decided identically ({cmp.dry_matches_active}) "
+          f"and changed nothing ({cmp.dry_changed_nothing})")
+    print(f"[export] {DASHBOARD_PATH} — self-contained, open from file://")
+
+
+if __name__ == "__main__":
+    main()

@@ -96,6 +96,40 @@ class Partition:
         return self._inside(src) != self._inside(dst)
 
 
+@dataclass
+class GrayFailure:
+    """A scripted *gray* failure: one switch's control-plane output is
+    probabilistically degraded — heartbeats, telemetry, and command
+    replies are lost at ``loss`` — without a hard partition.
+
+    Unlike :class:`Partition` the switch stays reachable and keeps
+    answering *some* of the time, which is exactly the failure mode a
+    two-stage heartbeat detector cannot confirm: suspicions flap as the
+    occasional heartbeat sneaks through, and monitoring quality silently
+    rots.  Remediation policies are meant to act on this.
+    """
+
+    switch_id: int
+    loss: float
+    start: float
+    end: float
+    rules: Tuple[FaultRule, ...] = ()
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    @property
+    def dropped(self) -> int:
+        """Messages eaten by this gray failure so far (diagnostics)."""
+        return sum(rule.dropped for rule in self.rules)
+
+    def heal(self, now: float) -> None:
+        """Close the degradation window at ``now``."""
+        self.end = now
+        for rule in self.rules:
+            rule.end = now
+
+
 class FaultInjector:
     """Seeded, scriptable message-fault source for one control bus."""
 
@@ -104,6 +138,7 @@ class FaultInjector:
         self.rng = random.Random(seed)
         self.rules: List[FaultRule] = []
         self.partitions: List[Partition] = []
+        self.gray_failures: List[GrayFailure] = []
         self.bus: Optional[Any] = None
         self.messages_seen = 0
         self.messages_dropped = 0
@@ -172,13 +207,56 @@ class FaultInjector:
             (f"soil/{switch_id}", f"seed/{switch_id}/*"),
             at=at, duration=duration)
 
+    def gray_failure(self, switch_id: int, loss: float = 0.5,
+                     at: Optional[float] = None,
+                     duration: float = math.inf,
+                     jitter_s: float = 0.0,
+                     inbound_loss: float = 0.0) -> GrayFailure:
+        """Probabilistically degrade one switch's control-plane *output*
+        (heartbeats, lifecycle reports, seed telemetry) without cutting it
+        off.  ``inbound_loss`` additionally degrades commands *toward*
+        the switch (default 0: a gray switch usually hears fine and
+        answers badly).  Returns a :class:`GrayFailure` handle with a
+        per-failure drop count and a :meth:`GrayFailure.heal` switch.
+        """
+        if not 0.0 <= loss <= 1.0:
+            raise ChaosError(f"loss must be a probability: {loss}")
+        if not 0.0 <= inbound_loss <= 1.0:
+            raise ChaosError(
+                f"inbound_loss must be a probability: {inbound_loss}")
+        start = self.sim.now if at is None else float(at)
+        if duration <= 0:
+            raise ChaosError(
+                f"gray-failure duration must be positive: {duration}")
+        end = start + duration
+        rules = [
+            self.add_rule(src=f"soil/{switch_id}", loss=loss,
+                          jitter_s=jitter_s, start=start, end=end),
+            self.add_rule(src=f"seed/{switch_id}/*", loss=loss,
+                          jitter_s=jitter_s, start=start, end=end),
+        ]
+        if inbound_loss:
+            rules.append(self.add_rule(dst=f"soil/{switch_id}",
+                                       loss=inbound_loss,
+                                       jitter_s=jitter_s,
+                                       start=start, end=end))
+        failure = GrayFailure(switch_id=switch_id, loss=loss,
+                              start=start, end=end, rules=tuple(rules))
+        self.gray_failures.append(failure)
+        return failure
+
     def heal(self) -> int:
-        """End every currently-active partition; returns how many closed."""
+        """End every currently-active partition and gray failure;
+        returns how many closed."""
         now = self.sim.now
         healed = 0
         for part in self.partitions:
             if part.active(now):
                 part.end = now
+                healed += 1
+        for gray in self.gray_failures:
+            if gray.active(now):
+                gray.heal(now)
                 healed += 1
         return healed
 

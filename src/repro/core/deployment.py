@@ -50,6 +50,7 @@ class FarmDeployment:
                              retry_policy=retry_policy)
         self.chaos: Optional[FaultInjector] = None
         self.scarecrow: Optional[Scarecrow] = None
+        self.remediation = None
 
     @property
     def metrics(self):
@@ -87,6 +88,21 @@ class FarmDeployment:
                                        retention=retention)
             self.scarecrow.start()
         return self.scarecrow
+
+    def enable_remediation(self, fault_tolerance=None, config=None,
+                           dry_run: bool = False):
+        """Attach the closed-loop remediation engine to Scarecrow's alert
+        lifecycle (enables Scarecrow if needed).  Policies are added by
+        the caller; idempotent, returns the engine.
+        """
+        if self.remediation is None:
+            from repro.remediation import RemediationEngine
+            scarecrow = self.enable_scarecrow()
+            self.remediation = RemediationEngine(
+                self.seeder, fault_tolerance=fault_tolerance,
+                config=config, dry_run=dry_run)
+            self.remediation.attach(scarecrow)
+        return self.remediation
 
     def start_workload(self, workload: Workload, switch_id: int) -> Workload:
         """Attach a workload's flows to one switch's ASIC."""

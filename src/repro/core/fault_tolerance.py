@@ -45,6 +45,14 @@ class SwitchHealth:
     suspected_at: Optional[float] = None
     failed: bool = False
     failed_at: Optional[float] = None
+    #: Administratively parked (remediation `quarantine`): excluded from
+    #: placement and its heartbeats are ignored until unquarantined.
+    quarantined: bool = False
+    quarantined_at: Optional[float] = None
+    #: After an escalated failover, heartbeats do not auto-recover the
+    #: switch until this sim-time — an escalation must stick long enough
+    #: for the re-placement to pay off (gray switches keep heartbeating).
+    holdoff_until: float = 0.0
 
 
 class FaultToleranceManager:
@@ -94,11 +102,25 @@ class FaultToleranceManager:
         self._m_external_suspicions = self.metrics.counter(
             "farm_ft_external_suspicions_total",
             "Suspicions raised by outside evidence (e.g. alert rules).")
+        self._m_quarantines = self.metrics.counter(
+            "farm_ft_quarantines_total",
+            "Switches administratively parked by remediation.")
+        self._m_escalations = self.metrics.counter(
+            "farm_ft_escalations_total",
+            "Failovers forced by escalated external evidence.")
         self.bus.register(HEARTBEAT_ENDPOINT, self._on_heartbeat)
         self._timers: List[PeriodicTimer] = []
+        #: Per-switch received-heartbeat counters, pre-created so the
+        #: series exists from t=0 (a rate() over a gray switch must see
+        #: the healthy baseline, not start at the first surviving beat).
+        self._m_heartbeats: Dict[int, Any] = {}
         for switch_id, soil in seeder.soils.items():
             self.health[switch_id] = SwitchHealth(
                 switch_id, last_heartbeat=self.sim.now)
+            self._m_heartbeats[switch_id] = self.metrics.counter(
+                "farm_ft_heartbeats_total",
+                "Heartbeats received, per switch.",
+                labels={"switch": str(switch_id)})
             self._timers.append(self.sim.every(
                 heartbeat_interval_s, self._emit_heartbeat, switch_id,
                 label=f"heartbeat sw{switch_id}"))
@@ -143,6 +165,12 @@ class FaultToleranceManager:
         health = self.health.get(int(payload["switch"]))
         if health is None:
             return
+        counter = self._m_heartbeats.get(health.switch_id)
+        if counter is not None:
+            counter.inc()
+        if health.quarantined:
+            # A parked switch keeps talking; we keep not listening.
+            return
         health.last_heartbeat = self.sim.now
         health.missed = 0
         if health.suspected:
@@ -155,12 +183,14 @@ class FaultToleranceManager:
                 tracer.instant(f"suspicion-cleared sw{health.switch_id}",
                                track="seeder", cat="fault-tolerance")
         if health.failed:
+            if self.sim.now < health.holdoff_until:
+                return  # escalated failover: recovery is on hold
             self._handle_recovery(health)
 
     def _check_health(self) -> None:
         deadline = self.heartbeat_interval_s * 1.5
         for health in self.health.values():
-            if health.failed:
+            if health.failed or health.quarantined:
                 continue
             if self.sim.now - health.last_heartbeat > deadline:
                 health.missed += 1
@@ -199,6 +229,80 @@ class FaultToleranceManager:
                            args={"source": source})
         return True
 
+    def escalate_failure(self, switch_id: int, source: str = "",
+                         recovery_holdoff_s: float = 10.0) -> bool:
+        """Promote accumulated outside evidence into a failover *now*.
+
+        This is the remediation engine's big hammer for switches whose
+        heartbeats keep trickling through (gray failures): the two-stage
+        detector never confirms them, so the caller — who has watched the
+        evidence repeat — forces ``_handle_failure`` and holds off
+        heartbeat-driven auto-recovery for ``recovery_holdoff_s`` so the
+        re-placement isn't immediately undone by the next lucky beat.
+        Returns True if a failover was actually performed.
+        """
+        health = self.health.get(switch_id)
+        if health is None or health.failed or health.quarantined:
+            return False
+        health.holdoff_until = self.sim.now + recovery_holdoff_s
+        self._m_escalations.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"escalated sw{switch_id}", track="seeder",
+                           cat="fault-tolerance", args={"source": source})
+        self._handle_failure(health)
+        return True
+
+    # ------------------------------------------------------------------
+    # Quarantine (administrative park, driven by remediation)
+    # ------------------------------------------------------------------
+    def quarantine(self, switch_id: int, source: str = "") -> bool:
+        """Park a switch: exclude it from placement, displace its seeds
+        to survivors, and ignore its heartbeats until ``unquarantine``.
+
+        Unlike a confirmed failure this never auto-recovers — a switch
+        parked on purpose stays parked until the operator (or policy)
+        says otherwise.  Returns True if the switch was newly parked.
+        """
+        health = self.health.get(switch_id)
+        if health is None or health.quarantined or health.failed:
+            return False
+        health.quarantined = True
+        health.quarantined_at = self.sim.now
+        health.suspected = False
+        health.suspected_at = None
+        health.missed = 0
+        self.seeder.failed_switches.add(switch_id)
+        self._m_quarantines.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"quarantine sw{switch_id}", track="seeder",
+                           cat="fault-tolerance", args={"source": source})
+        self._displace_seeds(switch_id)
+        self._redeploy_with_checkpoints()
+        return True
+
+    def unquarantine(self, switch_id: int) -> bool:
+        """Return a parked switch to the pool and re-place globally."""
+        health = self.health.get(switch_id)
+        if health is None or not health.quarantined:
+            return False
+        health.quarantined = False
+        health.quarantined_at = None
+        health.missed = 0
+        health.last_heartbeat = self.sim.now
+        self.seeder.failed_switches.discard(switch_id)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"unquarantine sw{switch_id}", track="seeder",
+                           cat="fault-tolerance")
+        revived = {seed_id for seed_id in self.parked_seeds
+                   if self._can_place_now(seed_id)}
+        self.parked_seeds -= revived
+        self._g_parked.set(len(self.parked_seeds))
+        self._redeploy_with_checkpoints()
+        return True
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
@@ -210,7 +314,8 @@ class FaultToleranceManager:
             # and snapshotting those would overwrite the checkpoints the
             # failover restored from.
             if getattr(soil, "failed", False) \
-                    or (health is not None and health.failed):
+                    or (health is not None
+                        and (health.failed or health.quarantined)):
                 continue
             for seed_id in list(soil.deployments):
                 self.checkpoints[seed_id] = soil.snapshot_seed(seed_id)
@@ -234,7 +339,14 @@ class FaultToleranceManager:
             tracer.instant(f"failover sw{switch_id}", track="seeder",
                            cat="fault-tolerance")
         # Displace the failed switch's seeds: they are gone; the seeder's
-        # bookkeeping must reflect that before re-optimizing.
+        # bookkeeping must reflect that before re-optimizing.  Then
+        # re-place everything on the survivors, restoring checkpoints.
+        self._displace_seeds(switch_id)
+        self._redeploy_with_checkpoints()
+
+    def _displace_seeds(self, switch_id: int) -> None:
+        """Evict every seed booked on ``switch_id`` from the seeder's
+        bookkeeping; seeds with no surviving candidate are parked."""
         displaced: List = []
         for task in self.seeder.tasks.values():
             for seed in task.seeds:
@@ -242,15 +354,12 @@ class FaultToleranceManager:
                     seed.switch = None
                     seed.allocation = {}
                     displaced.append(seed)
-        # Seeds that can only ever live on the dead switch are parked.
         for seed in displaced:
             alive = [n for n in seed.candidates
                      if n not in self.seeder.failed_switches]
             if not alive:
                 self.parked_seeds.add(seed.seed_id)
         self._g_parked.set(len(self.parked_seeds))
-        # Re-place everything on the survivors, restoring checkpoints.
-        self._redeploy_with_checkpoints()
 
     def _handle_recovery(self, health: SwitchHealth) -> None:
         """A failed switch heartbeats again: return it to the pool.
@@ -262,6 +371,7 @@ class FaultToleranceManager:
         health.failed = False
         health.failed_at = None
         health.missed = 0
+        health.holdoff_until = 0.0
         self.seeder.failed_switches.discard(health.switch_id)
         self._m_recoveries.inc()
         tracer = self.tracer
@@ -295,7 +405,7 @@ class FaultToleranceManager:
     # -- test/ops hooks -----------------------------------------------
     def alive_switches(self) -> List[int]:
         return sorted(h.switch_id for h in self.health.values()
-                      if not h.failed)
+                      if not h.failed and not h.quarantined)
 
     def suspected_switch_ids(self) -> List[int]:
         return sorted(h.switch_id for h in self.health.values()
@@ -303,6 +413,10 @@ class FaultToleranceManager:
 
     def failed_switch_ids(self) -> List[int]:
         return sorted(h.switch_id for h in self.health.values() if h.failed)
+
+    def quarantined_switch_ids(self) -> List[int]:
+        return sorted(h.switch_id for h in self.health.values()
+                      if h.quarantined)
 
 
 def fail_switch(seeder: Seeder, switch_id: int) -> None:

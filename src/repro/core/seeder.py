@@ -65,6 +65,9 @@ class ManagedSeed:
     allocation: Dict[str, float] = field(default_factory=dict)
     current_state: str = ""
     migrating: bool = False
+    #: While migrating: the switch the seed left, so a dead-lettered
+    #: deploy at the target can roll the seed back instead of stranding it.
+    migration_source: Optional[int] = None
 
 
 @dataclass
@@ -108,6 +111,10 @@ class Seeder:
         #: Switches currently considered dead (fault-tolerance manager);
         #: they contribute no capacity and host no seeds.
         self.failed_switches: set = set()
+        #: Switches administratively drained (remediation `cordon`): same
+        #: placement exclusion as failed, but the soil keeps running so
+        #: in-flight work lands and the drain is graceful.
+        self.cordoned_switches: set = set()
         self.last_solution: Optional[PlacementSolution] = None
         #: Reliable command channel: deploy/migrate/undeploy commands out,
         #: soil lifecycle reports (deployed/undeployed/...) back in.
@@ -126,6 +133,10 @@ class Seeder:
         self._m_lost_commands = self.metrics.counter(
             "farm_seeder_lost_commands_total",
             "Commands that exhausted every retransmission.")
+        self._m_migration_rollbacks = self.metrics.counter(
+            "farm_seeder_migration_rollbacks_total",
+            "Migrations rolled back to their source after a dead-lettered "
+            "deploy at the target.")
         self._g_tasks = self.metrics.gauge(
             "farm_seeder_tasks", "Tasks currently active.")
 
@@ -210,12 +221,52 @@ class Seeder:
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
-    def build_problem(self) -> PlacementProblem:
+    def cordon(self, switch_id: int) -> bool:
+        """Administratively drain a switch: exclude it from placement as
+        if failed, but leave its soil running so the exit is graceful.
+        The caller follows up with :meth:`reoptimize` (usually scoped to
+        the switch) to actually move the seeds off.  Returns True if the
+        switch was newly cordoned.
+        """
+        if switch_id not in self.soils \
+                or switch_id in self.cordoned_switches:
+            return False
+        self.cordoned_switches.add(switch_id)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"cordon sw{switch_id}", track="seeder",
+                           cat="placement")
+        return True
+
+    def uncordon(self, switch_id: int) -> bool:
+        """Return a drained switch to the placement pool."""
+        if switch_id not in self.cordoned_switches:
+            return False
+        self.cordoned_switches.discard(switch_id)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(f"uncordon sw{switch_id}", track="seeder",
+                           cat="placement")
+        return True
+
+    def excluded_switches(self) -> set:
+        """Switches contributing no capacity: failed or cordoned."""
+        return self.failed_switches | self.cordoned_switches
+
+    def build_problem(self, scope: Optional[set] = None
+                      ) -> PlacementProblem:
         """Snapshot all active tasks into one optimization problem.
 
         Each seed's utility is that of its *current* state — a seed sitting
         in a high-utility alarm state is worth keeping resourced.
+
+        ``scope`` restricts the re-placement blast radius: seeds currently
+        living on a switch *outside* ``scope`` are pinned where they are
+        (single-candidate), so only seeds on impacted switches — plus any
+        undeployed stragglers — may move.  The capacity picture stays
+        global, so the pinned seeds' consumption is still accounted for.
         """
+        excluded = self.excluded_switches()
         task_specs: List[TaskSpec] = []
         previous_placement: Dict[str, int] = {}
         previous_allocations: Dict[str, Dict[str, float]] = {}
@@ -227,9 +278,14 @@ class Seeder:
                 # is parked (excluded) rather than sinking its whole task
                 # -- availability over strict C1 during failures.
                 alive = tuple(n for n in seed.candidates
-                              if n not in self.failed_switches)
+                              if n not in excluded)
                 if not alive:
                     continue
+                if (scope is not None and seed.switch is not None
+                        and seed.switch not in scope
+                        and seed.switch not in excluded):
+                    # Outside the blast radius: stay put.
+                    alive = (seed.switch,)
                 utility = seed.blueprint.utility_for_state(
                     seed.current_state or seed.blueprint.initial_state)
                 demands = self._poll_demands(seed)
@@ -237,7 +293,8 @@ class Seeder:
                     seed_id=seed.seed_id, task_id=seed.task_id,
                     candidates=alive, utility=utility,
                     poll_demands=demands))
-                if seed.switch is not None                         and seed.switch not in self.failed_switches:
+                if seed.switch is not None \
+                        and seed.switch not in excluded:
                     previous_placement[seed.seed_id] = seed.switch
                     previous_allocations[seed.seed_id] = dict(seed.allocation)
             if specs:
@@ -247,7 +304,7 @@ class Seeder:
         available = {
             switch.switch_id: switch.available_resources()
             for switch in self.fleet
-            if switch.switch_id not in self.failed_switches}
+            if switch.switch_id not in excluded}
         # alpha_poll converts polling demand (subjects/s) into PCIe units
         # (KB/s): one counter read moves BYTES_PER_COUNTER bytes (SIV-B-b's
         # architecture-dependent coefficient).
@@ -285,14 +342,17 @@ class Seeder:
         return switch.asic.num_ports
 
     def reoptimize(self, restore_snapshots: Optional[Mapping[str, Any]]
-                   = None) -> PlacementSolution:
+                   = None, scope: Optional[set] = None
+                   ) -> PlacementSolution:
         """Run the global placement optimizer and reconcile the network.
 
         ``restore_snapshots`` maps seed ids to checkpointed inner state:
         a seed deployed fresh by this reconciliation resumes from its
         snapshot instead of restarting (fault-tolerance failover).
+        ``scope`` limits which switches' seeds may move (targeted
+        re-solve; see :meth:`build_problem`).
         """
-        problem = self.build_problem()
+        problem = self.build_problem(scope=scope)
         if self.solver == "milp":
             solution = solve_milp(problem,
                                   time_limit_s=self.milp_time_limit_s,
@@ -306,7 +366,8 @@ class Seeder:
             tracer.instant("reoptimize", track="seeder", cat="placement",
                            args={"solver": self.solver,
                                  "placed": len(solution.placement),
-                                 "objective": solution.objective})
+                                 "objective": solution.objective,
+                                 "scope": sorted(scope) if scope else None})
         self._reconcile(solution, restore_snapshots or {})
         return solution
 
@@ -398,6 +459,7 @@ class Seeder:
         transfer the state, deploy at the destination, resume."""
         old_switch = seed.switch
         seed.migrating = True
+        seed.migration_source = old_switch
         self._m_migrations.inc()
         tracer = self.tracer
         if tracer.enabled:
@@ -468,6 +530,7 @@ class Seeder:
                 seed.switch = None
                 seed.allocation = {}
                 seed.migrating = False
+                seed.migration_source = None
 
     def _on_deployed(self, seed: Optional[ManagedSeed],
                      payload: Dict[str, Any]) -> None:
@@ -481,6 +544,7 @@ class Seeder:
             return
         seed.current_state = payload.get("state") or seed.current_state
         seed.migrating = False
+        seed.migration_source = None
         # The allocation may have been re-optimized while the deploy was
         # in flight; converge the live deployment to the bookkeeping.
         soil = self.soils.get(switch)
@@ -530,17 +594,62 @@ class Seeder:
             except (ValueError, IndexError):
                 return
             if seed.switch == switch and not self._is_live(seed):
-                # Give up on this placement; the fault-tolerance manager
-                # (or the next reoptimize) finds the seed a new home.
-                seed.switch = None
-                seed.allocation = {}
+                source = seed.migration_source
                 seed.migrating = False
+                seed.migration_source = None
+                if self._usable_rollback_target(source, switch):
+                    # Mid-migration: the target never answered, but the
+                    # source is still fine — roll the seed back with the
+                    # snapshot the dead command carried, instead of
+                    # stranding it undeployed until some future
+                    # reoptimize.
+                    seed.switch = source
+                    self._m_migration_rollbacks.inc()
+                    tracer = self.tracer
+                    if tracer.enabled:
+                        tracer.instant(
+                            f"migration-rollback {seed.seed_id}",
+                            track="seeder", cat="lifecycle",
+                            args={"trace_id": seed.seed_id,
+                                  "from": switch, "to": source})
+                    self._send_deploy(seed, source,
+                                      payload.get("snapshot"))
+                else:
+                    # Give up on this placement; the fault-tolerance
+                    # manager (or the next reoptimize) finds the seed a
+                    # new home — nudge one so it isn't stranded forever.
+                    seed.switch = None
+                    seed.allocation = {}
+                    self.sim.schedule(0.0, self._rescue_reoptimize,
+                                      label=f"rescue {seed.seed_id}")
         elif cmd == "undeploy" and payload.get("reason") == "migrate":
             # The source is unreachable: its copy of the state is lost.
             # Restart the seed at its target rather than blocking forever.
             seed.migrating = False
+            seed.migration_source = None
             if seed.switch is not None and not self._is_live(seed):
                 self._send_deploy(seed, seed.switch, None)
+
+    def _usable_rollback_target(self, source: Optional[int],
+                                target: int) -> bool:
+        if source is None or source == target:
+            return False
+        if source in self.failed_switches \
+                or source in self.cordoned_switches:
+            return False
+        soil = self.soils.get(source)
+        return soil is not None and not soil.failed
+
+    def _rescue_reoptimize(self) -> None:
+        """Re-place after a dead-lettered deploy left a seed homeless.
+
+        Scheduled (not inline) so the dead-letter callback never
+        re-enters the reliable channel mid-dispatch; skipped when a
+        concurrent reconciliation already found the seed a home.
+        """
+        if any(seed.switch is None and not seed.migrating
+               for task in self.tasks.values() for seed in task.seeds):
+            self.reoptimize()
 
     # ------------------------------------------------------------------
     # Message routing

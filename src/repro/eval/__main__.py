@@ -17,6 +17,10 @@ or regression diffing without re-running the simulations.
 mid-run, alert rules watching) and writes the whole run as one
 self-contained HTML dashboard (``--out``, default ``dashboard.html`` —
 no external assets, opens from file:// or a CI artifact).
+
+``remediation`` runs the closed-loop gray-failure comparison (engine
+off / dry-run / active); with ``--out PATH`` the active run's dashboard
+— including the remediation decision timeline — is written as HTML.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.eval import (
     run_fig8_pcie,
     run_fig9_aggregation,
     run_fig10_comm_latency,
+    run_remediation_loop,
     run_scarecrow_chaos,
     run_tab4_responsiveness,
 )
@@ -152,10 +157,29 @@ def _scarecrow(dashboard_path=None):
     return point
 
 
+def _remediation(dashboard_path=None):
+    print("Remediation — closed loop vs dry-run vs detection only")
+    cmp = run_remediation_loop(dashboard_path=dashboard_path)
+    print(format_table(
+        ["mode", "victim", "baseline MU", "effective MU", "retained"],
+        [(p.mode, p.victim, f"{p.baseline_mu:.1f}",
+          f"{p.effective_mu:.2f}", f"{p.mu_retained * 100:.1f}%")
+         for p in (cmp.off, cmp.dry, cmp.active)]))
+    print(format_table(
+        ["sim t", "action", "switch", "decision", "outcome"],
+        [(f"{r.t:.1f}s", r.action, r.switch,
+          r.blocked_by and f"{r.decision} ({r.blocked_by})" or r.decision,
+          r.outcome or "-") for r in cmp.active.records]))
+    print(f"  MU gain over detection-only: {cmp.mu_gain * 100:.1f} pts; "
+          f"dry-run decisions identical: {cmp.dry_matches_active}; "
+          f"dry-run changed nothing: {cmp.dry_changed_nothing}")
+    return cmp
+
+
 EXPERIMENTS = {
     "tab4": _tab4, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
     "fig7": _fig7, "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
-    "scarecrow": _scarecrow,
+    "scarecrow": _scarecrow, "remediation": _remediation,
 }
 
 
@@ -169,8 +193,9 @@ def main(argv) -> int:
             return 2
         json_path = args[index + 1]
         del args[index:index + 2]
-    if args and args[0] == "dashboard":
-        out = "dashboard.html"
+    if args and args[0] in ("dashboard", "remediation"):
+        which = args[0]
+        out = f"{which}.html" if "--out" in args else None
         if "--out" in args:
             index = args.index("--out")
             if index + 1 >= len(args):
@@ -178,14 +203,22 @@ def main(argv) -> int:
                 return 2
             out = args[index + 1]
             del args[index:index + 2]
-        _scarecrow(dashboard_path=out)
-        print(f"[dashboard written to {out}]")
-        return 0
+        elif which == "dashboard":
+            out = "dashboard.html"
+        if which == "dashboard":
+            _scarecrow(dashboard_path=out)
+            print(f"[dashboard written to {out}]")
+            return 0
+        if out is not None:
+            _remediation(dashboard_path=out)
+            print(f"[dashboard written to {out}]")
+            return 0
+        # plain "remediation" (no --out) falls through to EXPERIMENTS
     names = args or ["--help"]
     if names in (["--help"], ["-h"]):
         print(__doc__)
         print("experiments:", ", ".join(sorted(EXPERIMENTS)), "| all",
-              "| dashboard --out PATH")
+              "| dashboard --out PATH | remediation --out PATH")
         return 0
     if names == ["all"]:
         names = sorted(EXPERIMENTS)

@@ -24,6 +24,7 @@ from repro.core.comm import (
 )
 from repro.core.deployment import FarmDeployment
 from repro.core.soil import Soil
+from repro.core.task import MachineConfig, TaskDefinition
 from repro.net.topology import spine_leaf
 from repro.net.traffic import HeavyHitterWorkload
 from repro.placement.heuristic import solve_heuristic
@@ -726,3 +727,267 @@ def run_scarecrow_chaos(duration_s: float = 80.0,
             farm.metrics.value("farm_ft_external_suspicions_total")),
         parked_peak=max(parked.values()) if parked else 0.0,
         scrapes=int(farm.metrics.value("scarecrow_scrapes_total")))
+
+
+# ---------------------------------------------------------------------------
+# Remediation — closed-loop detect → decide → act under a gray failure
+# ---------------------------------------------------------------------------
+
+#: Heartbeat interval the MU-retained experiment assumes (the
+#: FaultToleranceManager default).
+_REMEDIATION_HB_INTERVAL_S = 0.5
+
+
+def _make_probe_task(num_probes: int = 6,
+                     interval_s: float = 0.05) -> TaskDefinition:
+    """A fleet of *movable* probes: one ``place any`` machine per probe.
+
+    The paper's HH task pins one seed per switch (``place all``), which a
+    drain cannot move; remediation needs seeds whose candidate set spans
+    the fabric, so each probe is its own machine with free placement.
+    """
+    blocks = []
+    for index in range(num_probes):
+        blocks.append(f"""
+machine Probe{index} {{
+  place any;
+  poll pollStats = Poll {{ .ival = {interval_s}, .what = port ANY }};
+  state observe {{
+    util (res) {{ return 1; }}
+    when (pollStats as stats) do {{ }}
+  }}
+}}""")
+    return TaskDefinition(
+        task_id="probe-fleet", source="\n".join(blocks),
+        machines=[MachineConfig(machine_name=f"Probe{index}")
+                  for index in range(num_probes)])
+
+
+@dataclass
+class RemediationRunPoint:
+    """One gray-failure run: off (detection only), dry, or active."""
+
+    mode: str                       # off | dry | active
+    victim: Optional[int]
+    baseline_mu: float              # live MU just before the gray phase
+    effective_mu: float             # delivery-weighted MU at phase end
+    delivery: Dict[int, float]      # per-switch heartbeat delivery frac.
+    #: ``(sim_t, rule, state)`` for every alert lifecycle transition.
+    alert_log: List[Tuple[float, str, str]]
+    #: Normalized decision identities (action, switch, rule, verdict) —
+    #: timestamps excluded so dry-run parity survives RNG divergence.
+    decisions: List[Tuple]
+    #: Full decision records (empty in "off" mode).
+    records: List
+
+    @property
+    def mu_retained(self) -> float:
+        """Delivery-weighted MU as a fraction of the pre-failure MU."""
+        if self.baseline_mu <= 0:
+            return 0.0
+        return self.effective_mu / self.baseline_mu
+
+
+@dataclass
+class RemediationComparison:
+    """The closed-loop proof: engine on vs dry-run vs detection-only."""
+
+    off: RemediationRunPoint
+    dry: RemediationRunPoint
+    active: RemediationRunPoint
+
+    @property
+    def mu_gain(self) -> float:
+        return self.active.mu_retained - self.off.mu_retained
+
+    @property
+    def dry_matches_active(self) -> bool:
+        return self.dry.decisions == self.active.decisions
+
+    @property
+    def dry_changed_nothing(self) -> bool:
+        return abs(self.dry.effective_mu - self.off.effective_mu) < 1e-9
+
+
+def _live_mu(seeder) -> float:
+    """Monitoring utility of the seeds actually running right now."""
+    total = 0.0
+    zeros = {r: 0.0 for r in seeder.resource_types}
+    for task in seeder.tasks.values():
+        for seed in task.seeds:
+            if seed.switch is None:
+                continue
+            soil = seeder.soils.get(seed.switch)
+            if soil is None or seed.seed_id not in soil.deployments:
+                continue
+            utility = seed.blueprint.utility_for_state(
+                seed.current_state or seed.blueprint.initial_state)
+            env = dict(zeros)
+            env.update(seed.allocation)
+            total += utility.evaluate(env)
+    return total
+
+
+def run_remediation_mode(mode: str = "active",
+                         duration_s: float = 80.0,
+                         loss_start_s: float = 10.0,
+                         loss_end_s: float = 50.0,
+                         gray_loss: float = 0.75,
+                         chaos_seed: int = 11,
+                         num_probes: int = 6,
+                         scrape_interval_s: float = 1.0,
+                         dashboard_path: Optional[str] = None
+                         ) -> RemediationRunPoint:
+    """One gray-failure run with the remediation loop off/dry/active.
+
+    A fleet of movable probes is placed over a small fabric; the switch
+    hosting the most probes suffers a gray failure (``gray_loss`` of its
+    control-plane output silently dropped — heartbeats trickle through,
+    so the two-stage detector never confirms a failure).  A Scarecrow
+    rate rule on the per-switch heartbeat counters fires, and in
+    ``active`` mode a :class:`~repro.remediation.policies.DrainPolicy`
+    cordons the victim and migrates its probes to healthy switches.
+
+    The score is **delivery-weighted MU**: each live seed's utility is
+    scaled by its switch's heartbeat delivery fraction over the gray
+    window — a probe left on the gray switch is only as useful as the
+    telemetry that actually escapes it.
+    """
+    from repro.core.fault_tolerance import FaultToleranceManager
+    from repro.obs.alerts import ThresholdRule
+    from repro.remediation import (
+        DrainPolicy,
+        EscalatePolicy,
+        GuardrailConfig,
+        RemediationEngine,
+    )
+
+    if mode not in ("off", "dry", "active"):
+        raise ValueError(f"mode must be off/dry/active: {mode!r}")
+    farm = FarmDeployment(topology=spine_leaf(1, 2, 1))
+    chaos = farm.enable_chaos(seed=chaos_seed)
+    farm.submit(_make_probe_task(num_probes=num_probes))
+    # A gray switch keeps heartbeating *sometimes*: with a generous
+    # confirm_limit the built-in detector can never declare it failed —
+    # exactly the gap the remediation loop exists to close.
+    ft = FaultToleranceManager(farm.seeder, confirm_limit=30)
+    scarecrow = farm.enable_scarecrow(interval_s=scrape_interval_s)
+    healthy_rate = 1.0 / _REMEDIATION_HB_INTERVAL_S
+    scarecrow.add_rule(ThresholdRule(
+        "heartbeat-degraded", "farm_ft_heartbeats_total",
+        reducer="rate", window_s=5.0, op="<",
+        threshold=healthy_rate * 0.6, clear_threshold=healthy_rate * 0.75,
+        for_s=3.0, severity="critical",
+        description="A switch's heartbeat delivery rate dropped well "
+                    "below the emission rate: gray failure (lossy but "
+                    "alive) — telemetry from it is rotting."))
+    scarecrow.feed_fault_tolerance(ft)
+
+    engine = None
+    if mode in ("dry", "active"):
+        engine = RemediationEngine(
+            farm.seeder, fault_tolerance=ft, dry_run=(mode == "dry"),
+            config=GuardrailConfig(default_cooldown_s=20.0, max_active=1,
+                                   blast_radius=1, blast_window_s=60.0,
+                                   flap_limit=2, flap_window_s=30.0))
+        engine.add_policy(DrainPolicy("heartbeat-degraded"))
+        engine.add_policy(EscalatePolicy("heartbeat-degraded",
+                                         breaches=3, window_s=30.0))
+        engine.attach(scarecrow)
+
+    state: Dict[str, object] = {"victim": None, "baseline": 0.0,
+                                "effective_raw": []}
+
+    def pick_victim_and_fail() -> None:
+        counts = {sw: soil.num_seeds
+                  for sw, soil in farm.seeder.soils.items()}
+        victim = max(sorted(counts), key=lambda sw: counts[sw])
+        state["victim"] = victim
+        state["baseline"] = _live_mu(farm.seeder)
+        chaos.gray_failure(victim, loss=gray_loss, at=loss_start_s,
+                           duration=loss_end_s - loss_start_s)
+
+    def capture_placement() -> None:
+        # Just before the failure heals: where did every live seed end
+        # up, and what is it worth?  (Captured mid-run because the
+        # post-heal restore migrates seeds back.)
+        placed = []
+        zeros = {r: 0.0 for r in farm.seeder.resource_types}
+        for task in farm.seeder.tasks.values():
+            for seed in task.seeds:
+                if seed.switch is None:
+                    continue
+                soil = farm.seeder.soils.get(seed.switch)
+                if soil is None or seed.seed_id not in soil.deployments:
+                    continue
+                utility = seed.blueprint.utility_for_state(
+                    seed.current_state or seed.blueprint.initial_state)
+                env = dict(zeros)
+                env.update(seed.allocation)
+                placed.append((seed.switch, utility.evaluate(env)))
+        state["effective_raw"] = placed
+
+    farm.sim.schedule(loss_start_s - 0.5, pick_victim_and_fail,
+                      label="remediation: arm gray failure")
+    farm.sim.schedule(loss_end_s - 0.25, capture_placement,
+                      label="remediation: capture placement")
+    farm.run(until=duration_s)
+    scarecrow.scrape_once()
+
+    # Per-switch heartbeat delivery over the gray window, from the TSDB
+    # the alert rule itself read — the experiment scores what the
+    # monitoring fabric saw, not privileged simulator state.
+    window = loss_end_s - loss_start_s
+    expected = window / _REMEDIATION_HB_INTERVAL_S
+    delivery: Dict[int, float] = {}
+    vector = scarecrow.engine.delta("farm_ft_heartbeats_total",
+                                    window_s=window, at=loss_end_s)
+    for labels, delta in vector.items():
+        switch = int(dict(labels)["switch"])
+        delivery[switch] = max(0.0, min(1.0, delta / expected))
+    effective = sum(u * delivery.get(sw, 0.0)
+                    for sw, u in state["effective_raw"])
+
+    if dashboard_path is not None:
+        victim = state["victim"]
+        scarecrow.write_dashboard(
+            dashboard_path,
+            title=f"Remediation — gray failure ({mode})",
+            subtitle=f"switch {victim} gray at loss={gray_loss:g} "
+                     f"[{loss_start_s:g}s – {loss_end_s:g}s] of "
+                     f"{duration_s:g}s; engine {mode}",
+            annotations=(engine.log.annotations()
+                         if engine is not None else None))
+
+    return RemediationRunPoint(
+        mode=mode, victim=state["victim"],
+        baseline_mu=state["baseline"], effective_mu=effective,
+        delivery=delivery,
+        alert_log=[(e.t, e.rule, e.state) for e in scarecrow.log],
+        decisions=(engine.log.decision_keys() if engine is not None
+                   else []),
+        records=(list(engine.log.records) if engine is not None else []))
+
+
+def run_remediation_loop(duration_s: float = 80.0,
+                         loss_start_s: float = 10.0,
+                         loss_end_s: float = 50.0,
+                         gray_loss: float = 0.75,
+                         chaos_seed: int = 11,
+                         dashboard_path: Optional[str] = None
+                         ) -> RemediationComparison:
+    """The closed-loop proof: the same scripted gray failure three ways.
+
+    * **off** — detection only: alerts fire, nothing acts.
+    * **dry** — the engine decides (guardrails and all) but never acts;
+      the simulation must be bit-identical to "off".
+    * **active** — decisions execute; retained MU must beat "off".
+    """
+    kwargs = dict(duration_s=duration_s, loss_start_s=loss_start_s,
+                  loss_end_s=loss_end_s, gray_loss=gray_loss,
+                  chaos_seed=chaos_seed)
+    return RemediationComparison(
+        off=run_remediation_mode("off", **kwargs),
+        dry=run_remediation_mode("dry", **kwargs),
+        active=run_remediation_mode("active", dashboard_path=dashboard_path,
+                                    **kwargs))

@@ -296,6 +296,12 @@ class AlertManager:
         self.active: Dict[Tuple[str, LabelValues], ActiveAlert] = {}
         self.log: List[AlertEvent] = []
         self.on_firing: List[Callable[[AlertEvent], None]] = []
+        #: Structured lifecycle subscribers: called once per transition
+        #: (pending/firing/resolved/suppressed alike), after the whole
+        #: evaluation pass settles — a subscriber that reacts by mutating
+        #: the deployment (e.g. the remediation engine) never races the
+        #: rule loop.
+        self.on_transition: List[Callable[[AlertEvent], None]] = []
         self.evaluations = 0
 
     def add_rule(self, rule: AlertRule) -> AlertRule:
@@ -360,6 +366,9 @@ class AlertManager:
                         del self.active[key]
                         transitions.append(self._record(
                             now, rule, labels, RESOLVED, value))
+        for event in transitions:
+            for hook in self.on_transition:
+                hook(event)
         return transitions
 
     def _promote(self, active: ActiveAlert, now: float, value: float,

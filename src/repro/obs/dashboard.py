@@ -254,6 +254,60 @@ def _alert_timeline(alerts: AlertManager, t0: float, t1: float) -> str:
               f'<tbody>{lane_rows}</tbody></table>')
 
 
+#: Annotation marker colors by kind (remediation timeline).
+ANNOTATION_COLORS = {"decision": "#2a78d6", "outcome": "#0ca30c",
+                     "blocked": "#9a9890"}
+
+
+def _annotation_timeline(annotations: Sequence[Tuple[float, str, str]],
+                         t0: float, t1: float) -> str:
+    """One lane of (t, label, kind) markers — the remediation track.
+
+    Decisions are diamonds, outcomes dots, blocked requests hollow
+    circles; identity is carried redundantly by the table below, so the
+    shapes/colors are relief, not the only channel.
+    """
+    visible = [(t, label, kind) for t, label, kind in annotations
+               if t0 <= t <= t1]
+    if not visible:
+        return ('<p class="note">No remediation decisions in the '
+                'window.</p>')
+    height = _PAD_T + 34
+    mid = _PAD_T + 12
+    parts = [f'<svg viewBox="0 0 {_CHART_W} {height}" role="img" '
+             f'aria-label="remediation timeline">']
+    parts.append(f'<line x1="{_PAD_L}" y1="{mid}" '
+                 f'x2="{_CHART_W - _PAD_R}" y2="{mid}" class="grid"/>')
+    parts.append(f'<text x="{_PAD_L}" y="{height - 4}" class="tick">'
+                 f't={_fmt(t0)}s</text>')
+    parts.append(f'<text x="{_CHART_W - _PAD_R}" y="{height - 4}" '
+                 f'class="tick" text-anchor="end">t={_fmt(t1)}s</text>')
+    for t, label, kind in visible:
+        x = _x(t, t0, t1)
+        color = ANNOTATION_COLORS.get(kind, ANNOTATION_COLORS["decision"])
+        tip = f'<title>{html.escape(label)} @ {_fmt(t)}s</title>'
+        if kind == "decision":
+            parts.append(
+                f'<path d="M {x:.1f} {mid - 6} L {x + 6:.1f} {mid} '
+                f'L {x:.1f} {mid + 6} L {x - 6:.1f} {mid} Z" '
+                f'fill="{color}">{tip}</path>')
+        elif kind == "blocked":
+            parts.append(f'<circle cx="{x:.1f}" cy="{mid}" r="5" '
+                         f'fill="none" stroke="{color}" '
+                         f'stroke-width="2">{tip}</circle>')
+        else:
+            parts.append(f'<circle cx="{x:.1f}" cy="{mid}" r="4" '
+                         f'fill="{color}">{tip}</circle>')
+    parts.append("</svg>")
+    rows = "".join(
+        f'<tr><td>{_fmt(t)}s</td><td>{html.escape(kind)}</td>'
+        f'<td>{html.escape(label)}</td></tr>'
+        for t, label, kind in visible)
+    return ("".join(parts)
+            + f'<table class="legend"><thead><tr><th>t</th><th>kind</th>'
+              f'<th>event</th></tr></thead><tbody>{rows}</tbody></table>')
+
+
 _CSS = """
 :root { color-scheme: light dark; }
 body {
@@ -317,8 +371,16 @@ def render_dashboard(store: TimeSeriesStore,
                      subtitle: str = "",
                      families: Optional[Iterable[str]] = None,
                      t0: Optional[float] = None,
-                     t1: Optional[float] = None) -> str:
-    """Render the whole store (or just ``families``) to one HTML page."""
+                     t1: Optional[float] = None,
+                     annotations: Optional[
+                         Sequence[Tuple[float, str, str]]] = None) -> str:
+    """Render the whole store (or just ``families``) to one HTML page.
+
+    ``annotations`` is an optional sequence of ``(t, label, kind)``
+    markers (kind in {decision, outcome, blocked}) rendered as a
+    "Remediation" lane under the alert timeline — usually
+    ``RemediationLog.annotations()``.
+    """
     names = list(families) if families is not None else store.names()
     all_points = [p for name in names for s in store.select(name)
                   for p in s.points()]
@@ -361,6 +423,9 @@ def render_dashboard(store: TimeSeriesStore,
                   '<p class="note">No alert manager attached.</p>')
     subtitle_html = (f'<p class="sub">{html.escape(subtitle)}</p>'
                      if subtitle else "")
+    remediation_html = (
+        f"<h2>Remediation</h2>{_annotation_timeline(annotations, t0, t1)}"
+        if annotations is not None else "")
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en"><head><meta charset="utf-8">'
@@ -369,6 +434,7 @@ def render_dashboard(store: TimeSeriesStore,
         f"<h1>{html.escape(title)}</h1>{subtitle_html}"
         f'<div class="tiles">{tile_html}</div>'
         f"<h2>Alerts</h2>{alert_html}"
+        f"{remediation_html}"
         f"<h2>Metrics ({len(charts)} families)</h2>"
         f'{"".join(charts)}'
         "</body></html>\n")

@@ -219,3 +219,67 @@ class TestStats:
         stats = injector.stats()
         assert stats["seen"] == 1
         assert stats["dropped"] == 1
+
+
+class TestGrayFailure:
+    def test_outbound_degradation_without_partition(self):
+        sim, bus, injector = make_bus(seed=7)
+        gray = injector.gray_failure(4, loss=0.6)
+        heartbeats, commands = [], []
+        bus.register("seeder", lambda m: heartbeats.append(m))
+        bus.register("soil/4", lambda m: commands.append(m))
+        for _ in range(200):
+            bus.send("soil/4", "seeder", "hb")     # degraded direction
+            bus.send("seeder", "soil/4", "cmd")    # inbound: untouched
+        sim.run()
+        # ~40% of outbound survives; every inbound command lands.
+        assert 40 <= len(heartbeats) <= 120
+        assert len(commands) == 200
+        assert gray.dropped == 200 - len(heartbeats)
+
+    def test_seed_endpoints_are_degraded_too(self):
+        sim, bus, injector = make_bus(seed=1)
+        injector.gray_failure(2, loss=1.0)
+        reports, other = [], []
+        bus.register("harvester/t", lambda m: reports.append(m))
+        bus.send("seed/2/t/M#0", "harvester/t", "report")
+        bus.register("dst", lambda m: other.append(m))
+        bus.send("seed/3/t/M#0", "dst", "report")  # different switch
+        sim.run()
+        assert reports == []
+        assert len(other) == 1
+
+    def test_inbound_loss_opt_in(self):
+        sim, bus, injector = make_bus(seed=2)
+        injector.gray_failure(5, loss=0.0, inbound_loss=1.0)
+        received = []
+        bus.register("soil/5", lambda m: received.append(m))
+        bus.send("seeder", "soil/5", "cmd")
+        sim.run()
+        assert received == []
+
+    def test_window_and_heal(self):
+        sim, bus, injector = make_bus(seed=9)
+        gray = injector.gray_failure(1, loss=1.0, at=10.0, duration=20.0)
+        received = []
+        bus.register("seeder", lambda m: received.append(m))
+        assert not gray.active(5.0)
+        assert gray.active(10.0)
+        sim.run(until=15.0)
+        bus.send("soil/1", "seeder", "hb")
+        sim.run(until=16.0)
+        assert received == []  # inside the window: dropped
+        assert injector.heal() == 1
+        assert not gray.active(sim.now)
+        bus.send("soil/1", "seeder", "hb")
+        sim.run(until=17.0)
+        assert len(received) == 1  # healed: delivered
+
+    def test_validation(self):
+        sim, bus, injector = make_bus()
+        with pytest.raises(ChaosError):
+            injector.gray_failure(1, loss=1.5)
+        with pytest.raises(ChaosError):
+            injector.gray_failure(1, inbound_loss=-0.2)
+        with pytest.raises(ChaosError):
+            injector.gray_failure(1, duration=0.0)

@@ -247,3 +247,47 @@ class TestManager:
         store.append("g", {"other": "x"}, 1.0, 9.0)  # no switch label
         manager.evaluate(1.0)
         assert ft.calls == [(3, "scarecrow:hot")]
+
+
+class TestTransitionHooks:
+    def test_hooks_see_every_transition(self):
+        store, _, manager = _manager()
+        seen = []
+        manager.on_transition.append(
+            lambda e: seen.append((e.t, e.rule, e.state)))
+        manager.add_rule(ThresholdRule("hot", "g", op=">", threshold=5.0))
+        store.append("g", None, 1.0, 9.0)
+        manager.evaluate(1.0)
+        store.append("g", None, 2.0, 1.0)
+        manager.evaluate(2.0)
+        assert seen == [(1.0, "hot", PENDING), (1.0, "hot", FIRING),
+                        (2.0, "hot", RESOLVED)]
+
+    def test_hooks_run_after_evaluation_settles(self):
+        # A hook that inspects the manager must observe the fully
+        # updated state, not a half-applied evaluation pass.
+        store, _, manager = _manager()
+        firing_during_hook = []
+        manager.on_transition.append(
+            lambda e: firing_during_hook.append(
+                (e.state, [a.rule.name for a in manager.firing()])))
+        manager.add_rule(ThresholdRule("hot", "g", op=">", threshold=5.0))
+        store.append("g", None, 1.0, 9.0)
+        manager.evaluate(1.0)
+        assert firing_during_hook == [
+            (PENDING, ["hot"]), (FIRING, ["hot"])]
+
+    def test_multiple_hooks_and_removal(self):
+        store, _, manager = _manager()
+        first, second = [], []
+        hook = lambda e: first.append(e.state)  # noqa: E731
+        manager.on_transition.append(hook)
+        manager.on_transition.append(lambda e: second.append(e.state))
+        manager.add_rule(ThresholdRule("hot", "g", op=">", threshold=5.0))
+        store.append("g", None, 1.0, 9.0)
+        manager.evaluate(1.0)
+        manager.on_transition.remove(hook)
+        store.append("g", None, 2.0, 1.0)
+        manager.evaluate(2.0)
+        assert first == [PENDING, FIRING]
+        assert second == [PENDING, FIRING, RESOLVED]
