@@ -94,6 +94,107 @@ machine Bench {
 """
 
 
+# Fleet-scale dispatch workload: an affine counter seed, eligible for the
+# soil's fused poll groups and the vector-kernel dispatcher.
+DISPATCH_100K_SOURCE = """
+machine Dispatch {
+  place all;
+  poll pollStats = Poll { .ival = 0.01, .what = port ANY };
+  long polls = 0;
+  long acc = 0;
+  state run {
+    when (pollStats as stats) do {
+      polls = polls + 1;
+      acc = acc + 2 * polls;
+    }
+  }
+}
+"""
+
+
+def bench_dispatch_100k(quick: bool) -> dict:
+    """Soil dispatch throughput at fleet scale, batched vs scalar.
+
+    Deploys ``seeds_per_switch`` identical seeds on each of
+    ``num_switches`` switches (100k seeds / 1k switches at full size) and
+    runs five 10 ms poll rounds under both the fused/vectorized data path
+    (the default) and the per-seed scalar reference path
+    (``REPRO_SCALAR_POLL=1``).  Records total handler events per second
+    per arm, the fused-group and vector-kernel engagement counters, and a
+    cross-arm digest of final seed states (CI gates on the digest match
+    and on the batched path actually engaging).
+    """
+    from repro.almanac.xmlcodec import encode_program
+    from repro.core.comm import ControlBus
+    from repro.core.soil import Soil
+    from repro.switchsim.chassis import Switch
+    from repro.switchsim.stratum import driver_for
+
+    num_switches = 100 if quick else 1000
+    seeds_per_switch = 20 if quick else 100
+    duration = 0.05  # five poll rounds
+
+    program = parse(DISPATCH_100K_SOURCE)
+    xml = encode_program(program)
+    allocation = {"vCPU": 0.1, "RAM": 64, "TCAM": 8, "PCIe": 100}
+
+    def run_arm(scalar):
+        saved = os.environ.get("REPRO_SCALAR_POLL")
+        try:
+            if scalar:
+                os.environ["REPRO_SCALAR_POLL"] = "1"
+            else:
+                os.environ.pop("REPRO_SCALAR_POLL", None)
+            sim = Simulator()
+            bus = ControlBus(sim)
+            soils = []
+            for s in range(num_switches):
+                switch = Switch(sim, s)
+                soils.append(Soil(sim, switch, driver_for(switch), bus))
+            for s, soil in enumerate(soils):
+                for i in range(seeds_per_switch):
+                    soil.deploy(seed_id=f"d{s}_{i}", task_id="bench",
+                                program_xml=xml, machine_name="Dispatch",
+                                allocation=allocation)
+            start = time.perf_counter()
+            sim.run(until=duration)
+            wall = time.perf_counter() - start
+            events = sum(int(s._m_events.value) for s in soils)
+            batched = sum(int(s._m_batched_polls.value) for s in soils)
+            vectorized = sum(int(s._m_vector_events.value) for s in soils)
+            digest = []
+            for s in (0, num_switches // 2, num_switches - 1):
+                for i in (0, seeds_per_switch - 1):
+                    mvars = (soils[s].deployments[f"d{s}_{i}"]
+                             .instance.machine_scope.vars)
+                    digest.append((s, i, mvars["polls"], mvars["acc"]))
+            return wall, events, batched, vectorized, digest
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_SCALAR_POLL", None)
+            else:
+                os.environ["REPRO_SCALAR_POLL"] = saved
+
+    b_wall, b_events, b_batched, b_vector, b_digest = run_arm(scalar=False)
+    s_wall, s_events, _s_batched, _s_vector, s_digest = run_arm(scalar=True)
+    return {
+        "num_switches": num_switches,
+        "seeds_per_switch": seeds_per_switch,
+        "total_seeds": num_switches * seeds_per_switch,
+        "duration_s": duration,
+        "batched_wall_s": b_wall,
+        "scalar_wall_s": s_wall,
+        "batched_events_per_sec": b_events / b_wall,
+        "scalar_events_per_sec": s_events / s_wall,
+        "speedup": (b_events / b_wall) / (s_events / s_wall),
+        "events_per_arm": b_events,
+        "events_identical": b_events == s_events,
+        "batched_polls_total": b_batched,
+        "vectorized_events_total": b_vector,
+        "outputs_identical": b_digest == s_digest,
+    }
+
+
 class NullHost:
     """Cheapest possible host: the benchmark must measure the seed
     runtime, not host-side bookkeeping."""
@@ -515,6 +616,7 @@ def main() -> int:
         "python": sys.version.split()[0],
         "differential_ok": differential_check(),
         "dispatch": bench_dispatch(dispatch_events),
+        "dispatch_100k": bench_dispatch_100k(args.quick),
         "kernel": bench_kernel(kernel_events),
         "fig6": bench_fig6(args.quick),
         "placement": bench_placement(args.quick),
@@ -533,6 +635,13 @@ def main() -> int:
     print(f"dispatch: interpreted {d['interpreted_events_per_sec']:,.0f} ev/s"
           f", compiled {d['compiled_events_per_sec']:,.0f} ev/s"
           f"  ({d['speedup']:.2f}x)")
+    d1 = report["dispatch_100k"]
+    print(f"dispatch_100k: {d1['total_seeds']:,} seeds / "
+          f"{d1['num_switches']} switches — batched "
+          f"{d1['batched_events_per_sec']:,.0f} ev/s, scalar "
+          f"{d1['scalar_events_per_sec']:,.0f} ev/s ({d1['speedup']:.2f}x), "
+          f"{d1['vectorized_events_total']:,} vectorized events, outputs "
+          f"identical: {d1['outputs_identical']}")
     k = report["kernel"]
     print(f"kernel: {k['events_per_sec']:,.0f} ev/s plain, "
           f"{k['cancel_heavy_events_per_sec']:,.0f} ev/s cancel-heavy")
@@ -567,6 +676,19 @@ def main() -> int:
         return 1
     if not f6["outputs_identical"]:
         print("FAIL: fig6 outputs differ between backends", file=sys.stderr)
+        return 1
+    if not d1["outputs_identical"] or not d1["events_identical"]:
+        print("FAIL: batched and scalar soil data paths diverged",
+              file=sys.stderr)
+        return 1
+    if d1["batched_polls_total"] <= 0 or d1["vectorized_events_total"] <= 0:
+        print("FAIL: batched data path silently fell back to scalar "
+              "(no fused polls / vector-kernel events recorded)",
+              file=sys.stderr)
+        return 1
+    if d1["speedup"] < 1.0:
+        print(f"FAIL: batched dispatch slower than scalar "
+              f"({d1['speedup']:.2f}x)", file=sys.stderr)
         return 1
     if not obs["overhead_ok"]:
         print(f"FAIL: disabled-instrumentation overhead "

@@ -16,7 +16,9 @@ from repro.almanac.codegen import (
     MachineCode,
     compile_closures,
     default_backend,
+    vector_kernel,
 )
+from repro.almanac.vector import VectorKernel, compile_vector_kernels
 from repro.almanac.compiler import (
     MachineBlueprint,
     compile_machine,
@@ -59,7 +61,8 @@ __all__ = [
     "analyze_util", "const_eval", "encode_polling_subjects",
     "resolve_placements",
     "BACKEND_COMPILED", "BACKEND_INTERPRET", "MachineCode",
-    "compile_closures", "default_backend",
+    "compile_closures", "default_backend", "vector_kernel",
+    "VectorKernel", "compile_vector_kernels",
     "MachineBlueprint", "compile_machine", "compile_source",
     "CompiledMachine", "CompiledState", "MachineInstance", "flatten_machine",
     "parse", "parse_machine",

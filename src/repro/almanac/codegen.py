@@ -856,10 +856,22 @@ def fire_recv(rt: Any, value: Any, source_machine: str) -> bool:
     return handled
 
 
+def vector_kernel(compiled: CompiledMachine, state: str,
+                  var: str) -> Optional[Any]:
+    """Batch-capable kernel for ``(state, var)``, or None when the handler
+    is not provably vectorizable.  Compilation is lazy and cached on the
+    machine object (see :mod:`repro.almanac.vector`); the scalar closures
+    above remain the reference path every kernel is differentially tested
+    against."""
+    from repro.almanac.vector import compile_vector_kernels
+    return compile_vector_kernels(compiled).get((state, var))
+
+
 __all__ = [
     "BACKEND_COMPILED", "BACKEND_INTERPRET", "MachineCode",
     "compile_closures", "default_backend",
     "enter_state", "fire_exit", "fire_realloc", "fire_recv", "fire_var",
+    "vector_kernel",
 ]
 
 # MAX_TRANSIT_CHAIN is re-exported for callers that introspect limits of

@@ -13,9 +13,11 @@ the PCIe bus individually (the Fig. 8/9 comparison).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.almanac import codegen
 from repro.almanac.analysis import (
     ConstEnv,
     PollVarInfo,
@@ -73,6 +75,48 @@ class _PollPlan:
     subjects: Optional[frozenset]
     ports: Tuple[int, ...] = ()
     rule_patterns: Tuple[Any, ...] = ()
+
+
+@dataclass
+class _PollGroup:
+    """Seeds sharing one fused poll timer.
+
+    Seeds whose plans agree on kind/interval/subjects *and* that were
+    armed at the same instant fire in perfect sync forever, so the soil
+    services them all from a single timer event: one heap entry, one
+    callback, and a batch of deliveries that the vector dispatcher can
+    run as one kernel invocation.
+    """
+
+    key: Any
+    members: List[Tuple[str, str]]  # (seed_id, var), join order
+    timer: Optional[PeriodicTimer] = None
+
+
+def scalar_poll_forced() -> bool:
+    """Per-seed reference polling when ``REPRO_SCALAR_POLL`` is truthy
+    (mirrors the ``REPRO_INTERPRET`` codegen escape hatch)."""
+    flag = os.environ.get("REPRO_SCALAR_POLL", "").strip().lower()
+    return bool(flag) and flag not in ("0", "false", "no", "off")
+
+
+#: Shared decode+flatten results; seeds of one task deploy the same XML on
+#: hundreds of switches, and a shared CompiledMachine lets the closure and
+#: vector-kernel caches amortize across the fleet (instances never mutate
+#: the compiled object).
+_COMPILE_CACHE: Dict[Tuple[str, str], CompiledMachine] = {}
+
+
+def _compiled_for(program_xml: str, machine_name: str) -> CompiledMachine:
+    key = (program_xml, machine_name)
+    compiled = _COMPILE_CACHE.get(key)
+    if compiled is None:
+        if len(_COMPILE_CACHE) >= 512:
+            _COMPILE_CACHE.clear()
+        program = decode_program(program_xml)
+        compiled = flatten_machine(program, machine_name)
+        _COMPILE_CACHE[key] = compiled
+    return compiled
 
 
 @dataclass
@@ -154,12 +198,26 @@ class Soil:
                  bus: ControlBus,
                  config: Optional[SoilCommConfig] = None,
                  resource_types=RESOURCE_TYPES,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 batching: Optional[bool] = None) -> None:
         self.sim = sim
         self.switch = switch
         self.driver = driver
         self.bus = bus
         self.config = config or SoilCommConfig()
+        #: Fused poll groups (the batched hot path).  ``None`` defers to
+        #: the REPRO_SCALAR_POLL escape hatch; an explicit bool wins.
+        if batching is None:
+            batching = not scalar_poll_forced()
+        self.batching = bool(batching)
+        self._poll_groups: Dict[Any, _PollGroup] = {}
+        self._memberships: Dict[Tuple[str, str], _PollGroup] = {}
+        # Incremental resource-accounting state (avoids full O(seeds)
+        # recomputation on every deploy/undeploy/interval change).
+        self._cpu_load_seeds: set = set()
+        self._pcie_rates: Dict[str, Tuple[Any, ...]] = {}
+        self._pcie_subject_rates: Dict[Any, Dict[Tuple[str, str],
+                                                 float]] = {}
         self.resource_types = tuple(resource_types)
         self.deployments: Dict[str, SeedDeployment] = {}
         self.logs: List[Tuple[float, str, str]] = []
@@ -218,6 +276,14 @@ class Soil:
         self._g_seeds = self.metrics.gauge(
             "farm_soil_seeds",
             "Seeds currently deployed on this switch.", labels=labels)
+        self._m_batched_polls = self.metrics.counter(
+            "farm_soil_batched_polls_total",
+            "Fused poll-group firings that served more than one seed.",
+            labels=labels)
+        self._m_vector_events = self.metrics.counter(
+            "farm_soil_vectorized_events_total",
+            "Seed handler invocations dispatched through a vector kernel.",
+            labels=labels)
 
     # -- legacy counter attributes (now registry-backed) -------------------
     @property
@@ -249,8 +315,7 @@ class Soil:
             raise DeploymentError(
                 f"seed {seed_id!r} already deployed on switch "
                 f"{self.switch.switch_id}")
-        program = decode_program(program_xml)
-        compiled = flatten_machine(program, machine_name)
+        compiled = _compiled_for(program_xml, machine_name)
         allocation = {r: float((allocation or {}).get(r, 0.0))
                       for r in self.resource_types}
         env = ConstEnv.for_machine(
@@ -278,7 +343,7 @@ class Soil:
             instance.start()
         self._arm_triggers(deployment)
         self._refresh_cpu_load(deployment)
-        self._refresh_pcie_demand()
+        self._refresh_pcie_demand(deployment)
         self._m_deploys.inc()
         self._g_seeds.set(len(self.deployments))
         tracer = self.tracer
@@ -293,8 +358,7 @@ class Soil:
         """Stop a seed and release everything; returns its final snapshot."""
         deployment = self._get(seed_id)
         snapshot = deployment.instance.snapshot()
-        for timer in deployment.timers.values():
-            timer.stop()
+        self._disarm_triggers(deployment)
         for rule_id in list(deployment.rules):
             try:
                 self.driver.delete_table_entry(rule_id)
@@ -302,9 +366,10 @@ class Soil:
                 pass
         deployment.rules.clear()
         self.switch.cpu.clear_standing_load(f"seed/{seed_id}")
+        self._cpu_load_seeds.discard(seed_id)
         self.bus.unregister(self._seed_endpoint(seed_id))
         del self.deployments[seed_id]
-        self._refresh_pcie_demand()
+        self._refresh_pcie_demand(removed_seed_id=seed_id)
         self._m_undeploys.inc()
         self._g_seeds.set(len(self.deployments))
         tracer = self.tracer
@@ -325,7 +390,7 @@ class Soil:
                                  for r in self.resource_types}
         self._arm_triggers(deployment)
         self._refresh_cpu_load(deployment)
-        self._refresh_pcie_demand()
+        self._refresh_pcie_demand(deployment)
         deployment.instance.fire_realloc()
 
     def _get(self, seed_id: str) -> SeedDeployment:
@@ -371,30 +436,96 @@ class Soil:
                 subjects=subjects, ports=ports, rule_patterns=rule_patterns)
         deployment.poll_plans = plans
 
-    def _arm_triggers(self, deployment: SeedDeployment) -> None:
-        for timer in deployment.timers.values():
-            timer.stop()
+    def _disarm_triggers(self, deployment: SeedDeployment) -> None:
+        """Detach a seed from its timers (shared group timers survive as
+        long as any other member remains)."""
+        for name, timer in deployment.timers.items():
+            member = (deployment.seed_id, name)
+            group = self._memberships.pop(member, None)
+            if group is None:
+                timer.stop()  # private per-seed timer
+                continue
+            if member in group.members:
+                group.members.remove(member)
+            if not group.members:
+                group.timer.stop()
+                self._poll_groups.pop(group.key, None)
         deployment.timers.clear()
+
+    def _arm_triggers(self, deployment: SeedDeployment) -> None:
+        self._disarm_triggers(deployment)
         self._rebuild_poll_plans(deployment)
         for name, plan in deployment.poll_plans.items():
             if plan.interval is None:
                 continue  # no resources allocated for this poll yet
+            if self.batching:
+                self._join_group(deployment, name, plan)
+                continue
             timer = self.sim.every(
                 plan.interval, self._fire_trigger, deployment.seed_id, name,
                 label=f"{deployment.seed_id}.{name}")
             deployment.timers[name] = timer
 
+    def _join_group(self, deployment: SeedDeployment, name: str,
+                    plan: _PollPlan) -> None:
+        """Attach a trigger to a fused poll group (creating it on first
+        join).  Keying on the arm time keeps group members phase-aligned:
+        a seed deployed later would fire on a different schedule and must
+        not piggyback on an older group's timer."""
+        key = (plan.kind, plan.interval, plan.subjects, plan.ports,
+               plan.rule_patterns, deployment.event_cpu_s, self.sim.now)
+        group = self._poll_groups.get(key)
+        if group is None:
+            group = _PollGroup(key=key, members=[])
+            group.timer = self.sim.every(
+                plan.interval, self._fire_group, group,
+                label=f"poll-group {self.switch.switch_id}:{name}")
+            self._poll_groups[key] = group
+        member = (deployment.seed_id, name)
+        group.members.append(member)
+        self._memberships[member] = group
+        deployment.timers[name] = group.timer
+
     def set_trigger_interval(self, deployment: SeedDeployment, var: str,
                              interval: float) -> None:
         """Dynamic polling-rate change from inside the seed (SIII-A-d)."""
         interval = max(float(interval), MIN_POLL_INTERVAL_S)
-        timer = deployment.timers.get(var)
-        if timer is not None:
-            timer.reschedule(interval)
-        else:
-            deployment.timers[var] = self.sim.every(
-                interval, self._fire_trigger, deployment.seed_id, var,
+        member = (deployment.seed_id, var)
+        group = self._memberships.get(member)
+        if group is not None:
+            if len(group.members) == 1:
+                # Sole member: retime the group in place.  Retire its key
+                # so later deploys don't phase-join the retimed timer.
+                self._poll_groups.pop(group.key, None)
+                group.key = ("priv", member, self.sim.now)
+                group.timer.reschedule(interval)
+            else:
+                # Leave the shared group and fire on a private schedule
+                # (timing-identical to a reschedule of an own timer).
+                group.members.remove(member)
+                private = _PollGroup(key=("priv", member, self.sim.now),
+                                     members=[member])
+                private.timer = self.sim.every(
+                    interval, self._fire_group, private,
+                    label=f"{deployment.seed_id}.{var}")
+                self._memberships[member] = private
+                deployment.timers[var] = private.timer
+        elif self.batching:
+            private = _PollGroup(key=("priv", member, self.sim.now),
+                                 members=[member])
+            private.timer = self.sim.every(
+                interval, self._fire_group, private,
                 label=f"{deployment.seed_id}.{var}")
+            self._memberships[member] = private
+            deployment.timers[var] = private.timer
+        else:
+            timer = deployment.timers.get(var)
+            if timer is not None:
+                timer.reschedule(interval)
+            else:
+                deployment.timers[var] = self.sim.every(
+                    interval, self._fire_trigger, deployment.seed_id, var,
+                    label=f"{deployment.seed_id}.{var}")
         # Interval now diverges from the static analysis: pin it.
         info = deployment.poll_vars.get(var)
         if info is not None:
@@ -405,7 +536,7 @@ class Soil:
                 what=info.what)
         self._rebuild_poll_plans(deployment)
         self._refresh_cpu_load(deployment)
-        self._refresh_pcie_demand()
+        self._refresh_pcie_demand(deployment)
 
     def _fire_trigger(self, seed_id: str, var: str) -> None:
         deployment = self.deployments.get(seed_id)
@@ -473,6 +604,61 @@ class Soil:
         self.sim.schedule(total, self._run_handler, deployment.seed_id, var,
                           data, label=f"deliver {deployment.seed_id}.{var}")
 
+    def _fire_group(self, group: _PollGroup) -> None:
+        """Service every member of a fused poll group from one timer event.
+
+        Each member runs the exact per-seed poll/charge/trace sequence of
+        the scalar path (in join = deploy order, matching the scalar heap
+        order), so counters, CPU accounting, and latencies are identical;
+        only the event-heap traffic shrinks.  Deliveries that land at the
+        same instant are bucketed so the handler batch can be dispatched
+        through one vector kernel.
+        """
+        live = []
+        for seed_id, var in list(group.members):
+            deployment = self.deployments.get(seed_id)
+            if deployment is None:
+                continue
+            plan = deployment.poll_plans.get(var)
+            if plan is None:
+                continue
+            live.append((deployment, var, plan))
+        if not live:
+            return
+        if len(live) > 1:
+            self._m_batched_polls.inc()
+        deliveries: Dict[float, List[Tuple[str, str, Any]]] = {}
+        for deployment, var, plan in live:
+            if plan.kind == "time":
+                data, extra = None, 0.0
+            elif plan.kind == "probe":
+                data, extra = self.driver.sample_packets(
+                    plan.info.what, max_packets=PROBE_BATCH_SIZE)
+            else:
+                data, extra = self._poll(deployment, plan)
+            comm_latency = seed_soil_latency(self.config,
+                                             len(self.deployments))
+            cpu_cost, ctx = seed_soil_cpu_cost(self.config)
+            handler_delay = self.switch.cpu.charge_work(
+                deployment.event_cpu_s + cpu_cost, context_switches=ctx)
+            total = extra + comm_latency + handler_delay
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.complete(f"{deployment.seed_id}.{var}",
+                                track=self._track, start=self.sim.now,
+                                duration=total, cat="poll",
+                                args={"trace_id": deployment.seed_id})
+            deliveries.setdefault(total, []).append(
+                (deployment.seed_id, var, data))
+        for total, batch in deliveries.items():
+            if len(batch) == 1:
+                seed_id, var, data = batch[0]
+                self.sim.schedule(total, self._run_handler, seed_id, var,
+                                  data, label=f"deliver {seed_id}.{var}")
+            else:
+                self.sim.schedule(total, self._run_handler_batch, batch,
+                                  label=f"deliver batch x{len(batch)}")
+
     def _run_handler(self, seed_id: str, var: str, data: Any) -> None:
         deployment = self.deployments.get(seed_id)
         if deployment is None:
@@ -484,6 +670,59 @@ class Soil:
         except FarmError:
             if not self._contain_crash(deployment):
                 raise
+
+    def _run_handler_batch(
+            self, batch: List[Tuple[str, str, Any]]) -> None:
+        live = []
+        for seed_id, var, data in batch:
+            deployment = self.deployments.get(seed_id)
+            if deployment is None:
+                continue  # undeployed while the event was in flight
+            live.append((deployment, var, data))
+        if len(live) > 1 and self._try_vector_fire(live):
+            return
+        for deployment, var, data in live:
+            deployment.events_delivered += 1
+            self._m_events.inc()
+            try:
+                deployment.instance.fire_trigger_var(var, data)
+            except FarmError:
+                if not self._contain_crash(deployment):
+                    raise
+
+    def _try_vector_fire(
+            self, items: List[Tuple[SeedDeployment, str, Any]]) -> bool:
+        """Dispatch a same-instant handler batch through a vector kernel.
+
+        Requires every member to share one CompiledMachine (identity —
+        guaranteed for same-task seeds via the deploy compile cache), the
+        same current state, and an affine handler (see
+        :mod:`repro.almanac.vector`).  Any mismatch, or tracing being on
+        (per-event spans), falls back to the scalar loop above.
+        """
+        if self.tracer.enabled:
+            return False
+        first, var, _ = items[0]
+        compiled = first.instance.compiled
+        state = first.instance.current_state
+        instances = []
+        data_values = []
+        for deployment, v, data in items:
+            inst = deployment.instance
+            if (v != var or inst.compiled is not compiled
+                    or inst.current_state != state):
+                return False
+            instances.append(inst)
+            data_values.append(data)
+        kernel = codegen.vector_kernel(compiled, state, var)
+        if kernel is None or not kernel.fire(instances, data_values):
+            return False
+        count = len(items)
+        for deployment, _v, _d in items:
+            deployment.events_delivered += 1
+        self._m_events.inc(count)
+        self._m_vector_events.inc(count)
+        return True
 
     def _contain_crash(self, deployment: SeedDeployment) -> bool:
         """Apply the crash policy; returns True if the crash was handled.
@@ -528,29 +767,58 @@ class Soil:
     def _refresh_cpu_load(self, deployment: SeedDeployment) -> None:
         # Event-handling work is charged per delivery (charge_work in
         # _deliver); the standing entry covers only the seed's constant
-        # bookkeeping so nothing is double counted.
-        self.switch.cpu.set_standing_load(f"seed/{deployment.seed_id}",
+        # bookkeeping so nothing is double counted.  The load is the same
+        # constant for every seed, so re-setting it on every reallocate/
+        # interval change is pure waste — set it once per deployment.
+        seed_id = deployment.seed_id
+        if seed_id in self._cpu_load_seeds:
+            return
+        self.switch.cpu.set_standing_load(f"seed/{seed_id}",
                                           SEED_BASELINE_LOAD)
+        self._cpu_load_seeds.add(seed_id)
 
-    def _refresh_pcie_demand(self) -> None:
-        """Re-derive the standing PCIe polling demand across all seeds.
+    def _refresh_pcie_demand(self, deployment: Optional[SeedDeployment]
+                             = None,
+                             removed_seed_id: Optional[str] = None) -> None:
+        """Maintain the standing PCIe polling demand incrementally.
 
         With aggregation, each subject is charged at the *fastest* rate any
         seed polls it; without, rates add up (SIV-B-b's pollres model).
+        Only the touched seed's contribution is recomputed; everyone
+        else's entries carry forward in the per-subject rate table, so
+        the cost is O(subjects) instead of O(seeds x plans).
         """
         from repro.switchsim.pcie import BYTES_PER_COUNTER
-        per_subject: Dict[Any, List[float]] = {}
-        for deployment in self.deployments.values():
-            for plan in deployment.poll_plans.values():
+        if removed_seed_id is not None:
+            self._drop_pcie_rates(removed_seed_id)
+        if deployment is not None:
+            seed_id = deployment.seed_id
+            self._drop_pcie_rates(seed_id)
+            entries = []
+            for name, plan in deployment.poll_plans.items():
                 if plan.kind == "time" or plan.interval is None:
                     continue
                 rate = (len(plan.subjects) * BYTES_PER_COUNTER
                         / plan.interval)
-                per_subject.setdefault(plan.subjects, []).append(rate)
+                entries.append((plan.subjects, name))
+                self._pcie_subject_rates.setdefault(
+                    plan.subjects, {})[(seed_id, name)] = rate
+            self._pcie_rates[seed_id] = tuple(entries)
         total = 0.0
-        for rates in per_subject.values():
-            total += max(rates) if self.config.aggregation else sum(rates)
+        for rates in self._pcie_subject_rates.values():
+            values = rates.values()
+            total += max(values) if self.config.aggregation \
+                else sum(values)
         self.switch.pcie.register_poller("soil", total)
+
+    def _drop_pcie_rates(self, seed_id: str) -> None:
+        for subjects, name in self._pcie_rates.pop(seed_id, ()):
+            table = self._pcie_subject_rates.get(subjects)
+            if table is None:
+                continue
+            table.pop((seed_id, name), None)
+            if not table:
+                del self._pcie_subject_rates[subjects]
 
     # ------------------------------------------------------------------
     # Local reactions: TCAM
@@ -749,10 +1017,14 @@ class Soil:
             tracer.instant("power-off", track=self._track, cat="lifecycle",
                            args={"seeds_lost": len(self.deployments)})
         for deployment in list(self.deployments.values()):
-            for timer in deployment.timers.values():
-                timer.stop()
+            self._disarm_triggers(deployment)
             self.bus.unregister(self._seed_endpoint(deployment.seed_id))
         self.deployments.clear()
+        self._poll_groups.clear()
+        self._memberships.clear()
+        self._cpu_load_seeds.clear()
+        self._pcie_rates.clear()
+        self._pcie_subject_rates.clear()
         self._g_seeds.set(0)
         self._poll_cache.clear()
         self.channel.reset()

@@ -37,9 +37,17 @@ MICROS = 1e-6
 #: Default priority for scheduled events; lower fires first at equal times.
 NORMAL_PRIORITY = 0
 
-#: Tombstone compaction threshold: compact once at least this many dead
-#: entries accumulate *and* they make up half the heap.
+#: Tombstone compaction: compact once dead entries exceed an adaptive
+#: floor *and* outnumber live entries.  The floor starts at
+#: :data:`_COMPACT_MIN_DEAD` and adapts to the live/dead ratio observed at
+#: each compaction: a small, cancel-heavy heap doubles its floor so the
+#: fixed compaction overhead (list rebuild + heapify) amortizes across
+#: more cancels, while a large heap pulls the floor back toward its live
+#: size so the dead:live trigger ratio stays ~1 (amortized O(1) per
+#: cancel).  :data:`_COMPACT_MAX_DEAD` bounds both the memory held by
+#: tombstones and the log-factor they add to heap pushes.
 _COMPACT_MIN_DEAD = 64
+_COMPACT_MAX_DEAD = 1024
 
 
 class Event:
@@ -96,6 +104,9 @@ class Simulator:
         self._event_count = 0
         self._live = 0  # live (schedulable) entries in the heap
         self._dead = 0  # cancelled entries not yet popped/compacted
+        self._compact_floor = _COMPACT_MIN_DEAD
+        #: Number of tombstone compactions performed (diagnostic).
+        self.compactions = 0
         # Optional kernel trace hook: ``hook(when, label)`` called for
         # every fired event.  Kept as a plain attribute so the disabled
         # cost in step() is one load + branch (the hot loop budget).
@@ -160,15 +171,28 @@ class Simulator:
 
     def _note_cancelled(self) -> None:
         """Bookkeeping for Event.cancel(): update the live count and compact
-        the heap when tombstones dominate it."""
+        the heap when tombstones dominate it (adaptive floor, see above)."""
         self._live -= 1
         self._dead += 1
-        if (self._dead >= _COMPACT_MIN_DEAD
-                and self._dead * 2 >= len(self._heap)):
-            self._heap = [entry for entry in self._heap
-                          if not entry[3].cancelled]
-            heapq.heapify(self._heap)
-            self._dead = 0
+        if self._dead >= self._compact_floor and self._dead >= self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [entry for entry in self._heap
+                      if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+        self.compactions += 1
+        # Adapt to the live/dead ratio just observed: when the live set is
+        # smaller than the floor the heap is cancel-dominated, so double
+        # the floor (up to the cap); otherwise track the live size so the
+        # next compaction again waits for tombstones to rival it.
+        if self._live < self._compact_floor:
+            self._compact_floor = min(self._compact_floor * 2,
+                                      _COMPACT_MAX_DEAD)
+        else:
+            self._compact_floor = max(
+                _COMPACT_MIN_DEAD, min(self._live, _COMPACT_MAX_DEAD))
 
     # ------------------------------------------------------------------
     # Execution

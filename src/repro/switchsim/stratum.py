@@ -43,7 +43,11 @@ class SwitchDriver:
         self.calls += 1
         if ports is None:
             ports = range(self.switch.asic.num_ports)
-        stats = [self.switch.asic.read_port_stats(p) for p in ports]
+        else:
+            ports = list(ports)
+        # One array pass over the attachment table instead of a per-port
+        # scan; bit-identical to the scalar loop (see Asic docstring).
+        stats = self.switch.asic.read_port_stats_batch(ports)
         latency = self.switch.pcie.poll_counters(len(stats))
         return stats, latency + self.CALL_OVERHEAD_S
 

@@ -1,0 +1,289 @@
+"""Differential tests: fused poll groups vs the scalar reference path.
+
+The batched data path (``Soil(batching=True)``, the default) must be
+*observationally identical* to per-seed scalar firing: same seed reports
+in the same order, same registry counters, same final machine snapshots.
+Only internal event-heap traffic may differ (that is the optimization).
+"""
+
+import pytest
+
+from repro.almanac.parser import parse
+from repro.almanac.xmlcodec import encode_program
+from repro.core.comm import ControlBus
+from repro.core.soil import Soil, scalar_poll_forced
+from repro.net.addresses import parse_ip
+from repro.net.packet import PROTO_TCP, Flow, FlowKey
+from repro.sim.engine import Simulator
+from repro.switchsim.chassis import Switch
+from repro.switchsim.stratum import driver_for
+
+COUNTING_SEED = """
+machine Counter {
+  place all;
+  poll pollStats = Poll { .ival = 0.01, .what = port ANY };
+  long polls = 0;
+  state counting {
+    when (pollStats as stats) do {
+      polls = polls + 1;
+      send polls to harvester;
+    }
+  }
+}
+"""
+
+# Kitchen sink: branches, a transit, TCAM reactions, a while loop —
+# nothing here is vector-eligible, so this exercises the fused-group
+# scalar fallback end to end.
+KITCHEN_SINK_SEED = """
+machine Sink {
+  place all;
+  poll pollStats = Poll { .ival = 0.02, .what = port ANY };
+  external long threshold;
+  long rounds = 0;
+  list seen;
+  state watching {
+    when (pollStats as stats) do {
+      rounds = rounds + 1;
+      int i = 0;
+      while (i < size(stats)) {
+        if (get(stats, i).rate_bps >= threshold) then {
+          if (not contains(seen, get(stats, i).port)) then {
+            append(seen, get(stats, i).port);
+            addTCAMRule(makeRule(port get(stats, i).port,
+                                 makeRateLimitAction(1000)));
+            transit alerting;
+          }
+        }
+        i = i + 1;
+      }
+    }
+  }
+  state alerting {
+    when (enter) do {
+      send size(seen) to harvester;
+      transit watching;
+    }
+  }
+}
+"""
+
+INTERVAL_CHANGER = """
+machine Changer {
+  place all;
+  poll p = Poll { .ival = 0.02, .what = port ANY };
+  long n = 0;
+  state s {
+    when (p as stats) do {
+      n = n + 1;
+      if (n == 3) then { p.ival = 0.005; }
+      send n to harvester;
+    }
+  }
+}
+"""
+
+
+def _make_soil(batching):
+    sim = Simulator()
+    switch = Switch(sim, 1)
+    bus = ControlBus(sim)
+    soil = Soil(sim, switch, driver_for(switch), bus, batching=batching)
+    return sim, switch, bus, soil
+
+
+def _deploy_n(soil, bus, source, n, received, externals=None, prefix="s"):
+    program = parse(source)
+    xml = encode_program(program)
+    name = program.machines[-1].name
+    if not bus.is_registered("harvester/task"):
+        bus.register("harvester/task", lambda m: received.append(
+            (m.payload["seed_id"], m.payload["value"])))
+    for i in range(n):
+        soil.deploy(seed_id=f"{prefix}{i}", task_id="task", program_xml=xml,
+                    machine_name=name, externals=externals,
+                    allocation={"vCPU": 0.1, "RAM": 64, "TCAM": 8,
+                                "PCIe": 100})
+
+
+def _attach_flow(switch, rate=1e6, port=1):
+    key = FlowKey(parse_ip("10.0.0.1"), parse_ip("10.1.0.1"), 1000, 80,
+                  PROTO_TCP)
+    flow = Flow(key, rate_bps=rate, start_time=switch.sim.now)
+    switch.asic.attach_flow(flow, 0, port)
+    return flow
+
+
+def _observe(sim, soil, received):
+    snaps = {sid: soil.deployments[sid].instance.snapshot()
+             for sid in sorted(soil.deployments)}
+    return {
+        "messages": list(received),
+        "snapshots": snaps,
+        "polls": soil.polls_issued,
+        "cache_hits": soil.polls_served_from_cache,
+        "events": int(soil._m_events.value),
+        "rules": {sid: len(d.rules) for sid, d in soil.deployments.items()},
+    }
+
+
+class TestCountingParity:
+    def _run(self, batching):
+        sim, switch, bus, soil = _make_soil(batching)
+        received = []
+        _deploy_n(soil, bus, COUNTING_SEED, 8, received)
+        sim.run(until=0.2)
+        return _observe(sim, soil, received), soil, sim
+
+    def test_batched_matches_scalar(self):
+        batched, bsoil, bsim = self._run(True)
+        scalar, ssoil, ssim = self._run(False)
+        assert batched == scalar
+        # The batched run really took the fused + vectorized path...
+        assert bsoil._m_batched_polls.value > 0
+        assert bsoil._m_vector_events.value > 0
+        assert ssoil._m_batched_polls.value == 0
+        # ...and it shrank the event heap traffic.
+        assert bsim.events_processed < ssim.events_processed
+
+    def test_mixed_machines_share_nothing(self):
+        # Different machines on one switch: groups fuse per plan, the
+        # vector kernel only fires for compatible (machine, state) rows.
+        def run(batching):
+            sim, switch, bus, soil = _make_soil(batching)
+            _attach_flow(switch, rate=5e6)
+            received = []
+            _deploy_n(soil, bus, COUNTING_SEED, 4, received, prefix="c")
+            _deploy_n(soil, bus, KITCHEN_SINK_SEED, 3, received,
+                      externals={"threshold": 1e6}, prefix="k")
+            sim.run(until=0.3)
+            return _observe(sim, soil, received)
+        assert run(True) == run(False)
+
+
+class TestKitchenSinkParity:
+    def _run(self, batching):
+        sim, switch, bus, soil = _make_soil(batching)
+        _attach_flow(switch, rate=5e6, port=1)
+        _attach_flow(switch, rate=3e6, port=2)
+        received = []
+        _deploy_n(soil, bus, KITCHEN_SINK_SEED, 6, received,
+                  externals={"threshold": 1e6})
+        sim.run(until=0.4)
+        return _observe(sim, soil, received)
+
+    def test_reactions_and_transits_match(self):
+        assert self._run(True) == self._run(False)
+
+
+class TestDynamicsParity:
+    def test_mid_run_interval_change(self):
+        def run(batching):
+            sim, switch, bus, soil = _make_soil(batching)
+            received = []
+            _deploy_n(soil, bus, INTERVAL_CHANGER, 5, received)
+            sim.run(until=0.3)
+            return _observe(sim, soil, received)
+        assert run(True) == run(False)
+
+    def test_staggered_deploys_and_undeploy(self):
+        def run(batching):
+            sim, switch, bus, soil = _make_soil(batching)
+            received = []
+            _deploy_n(soil, bus, COUNTING_SEED, 3, received, prefix="a")
+            sim.run(until=0.055)
+            _deploy_n(soil, bus, COUNTING_SEED, 3, received, prefix="b")
+            sim.run(until=0.101)
+            undeployed = soil.undeploy("a1")
+            sim.run(until=0.2)
+            obs = _observe(sim, soil, received)
+            obs["undeployed"] = undeployed
+            return obs
+        assert run(True) == run(False)
+
+    def test_power_off_drops_everything(self):
+        def run(batching):
+            sim, switch, bus, soil = _make_soil(batching)
+            received = []
+            _deploy_n(soil, bus, COUNTING_SEED, 4, received)
+            sim.run(until=0.1)
+            soil.power_off()
+            sim.run(until=0.3)
+            return list(received), soil.num_seeds, sim.pending()
+        assert run(True) == run(False)
+
+    def test_crash_restart_parity(self):
+        crasher = """
+machine Crasher {
+  place all;
+  poll p = Poll { .ival = 0.01, .what = port ANY };
+  long n = 0;
+  state s {
+    when (p as stats) do {
+      n = n + 1;
+      if (n == 4) then { n = n / 0; }
+      send n to harvester;
+    }
+  }
+}
+"""
+        def run(batching):
+            sim, switch, bus, soil = _make_soil(batching)
+            soil.crash_policy = "restart"
+            received = []
+            _deploy_n(soil, bus, crasher, 4, received)
+            sim.run(until=0.1)
+            obs = _observe(sim, soil, received)
+            obs["crashes"] = dict(soil.seed_crashes)
+            return obs
+        assert run(True) == run(False)
+
+
+class TestEscapeHatch:
+    def test_env_var_disables_batching(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_POLL", "1")
+        assert scalar_poll_forced()
+        _sim, _switch, _bus, soil = _make_soil(None)
+        assert soil.batching is False
+
+    def test_explicit_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_POLL", "1")
+        _sim, _switch, _bus, soil = _make_soil(True)
+        assert soil.batching is True
+
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALAR_POLL", raising=False)
+        assert not scalar_poll_forced()
+        _sim, _switch, _bus, soil = _make_soil(None)
+        assert soil.batching is True
+
+
+class TestFullDeploymentParity:
+    def test_heavy_hitter_detections_identical(self, monkeypatch):
+        from repro.core.deployment import FarmDeployment
+        from repro.net.topology import spine_leaf
+        from repro.net.traffic import HeavyHitterWorkload
+        from repro.tasks import make_heavy_hitter_task
+
+        def trace(scalar):
+            if scalar:
+                monkeypatch.setenv("REPRO_SCALAR_POLL", "1")
+            else:
+                monkeypatch.delenv("REPRO_SCALAR_POLL", raising=False)
+            farm = FarmDeployment(topology=spine_leaf(1, 2, 1))
+            task = make_heavy_hitter_task(threshold=5e6, accuracy_ms=10)
+            farm.submit(task)
+            farm.settle()
+            leaf = farm.topology.leaf_ids[0]
+            workload = HeavyHitterWorkload(num_ports=20, hh_ratio=0.1,
+                                           hh_rate_bps=1e8,
+                                           churn_interval=0.5, seed=7)
+            farm.start_workload(workload, leaf)
+            farm.run(until=farm.sim.now + 2.0)
+            return [(round(t, 9), sw, p)
+                    for t, sw, p in task.harvester.detections]
+
+        batched = trace(scalar=False)
+        scalar = trace(scalar=True)
+        assert batched, "workload produced no detections"
+        assert batched == scalar

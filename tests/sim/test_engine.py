@@ -285,3 +285,62 @@ class TestTupleHeapFastPath:
         assert times[1000] == pytest.approx(100.0, abs=1e-9)
         for i in (10, 100, 999):
             assert times[i] == pytest.approx(0.1 * i, abs=1e-12)
+
+
+class TestAdaptiveCompaction:
+    def test_cancel_heavy_small_heap_amortizes(self):
+        # A tiny live set with thousands of cancels: the floor doubles at
+        # each compaction, so compaction count grows logarithmically
+        # instead of once per 64 cancels.
+        sim = Simulator()
+        keep = [sim.schedule_at(1e6 + i, lambda: None) for i in range(5)]
+        for i in range(2000):
+            sim.schedule_at(float(i + 1), lambda: None).cancel()
+        # Fixed-floor behaviour would compact 2000/64 ~ 31 times; the
+        # adaptive floor (64,128,...,1024) needs at most 6.
+        assert 1 <= sim.compactions <= 6
+        assert sim.pending() == len(keep)
+        from repro.sim.engine import _COMPACT_MAX_DEAD, _COMPACT_MIN_DEAD
+        assert _COMPACT_MIN_DEAD <= sim._compact_floor <= _COMPACT_MAX_DEAD
+
+    def test_large_heap_waits_for_live_parity(self):
+        # With many live events, compaction must wait for tombstones to
+        # rival the live count (dead >= live), not fire at the fixed
+        # minimum and rescan a big heap for little gain.
+        sim = Simulator()
+        live = [sim.schedule_at(1e6 + i, lambda: None) for i in range(500)]
+        doomed = [sim.schedule_at(float(i + 1), lambda: None)
+                  for i in range(499)]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions == 0  # dead=499 < live=500
+        extra = sim.schedule_at(0.5, lambda: None)
+        extra.cancel()
+        assert sim.compactions == 1  # dead=500 >= live=500
+        # Next floor tracks the live size (clamped to the cap).
+        assert sim._compact_floor == min(len(live), 1024)
+        assert sim.pending() == len(live)
+
+    def test_floor_is_capped(self):
+        sim = Simulator()
+        sim.schedule_at(1e9, lambda: None)
+        for i in range(30000):
+            sim.schedule_at(float(i + 1), lambda: None).cancel()
+        from repro.sim.engine import _COMPACT_MAX_DEAD
+        assert sim._compact_floor <= _COMPACT_MAX_DEAD
+        # The heap never holds more than cap + live entries for long.
+        assert len(sim._heap) <= _COMPACT_MAX_DEAD + sim.pending()
+
+    def test_survivors_fire_in_order_after_many_compactions(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule_at(100.0 + i, lambda i=i: fired.append(i))
+        for round_ in range(5):
+            doomed = [sim.schedule_at(50.0 + i * 1e-6, lambda: None)
+                      for i in range(300)]
+            for event in doomed:
+                event.cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert fired == list(range(10))
