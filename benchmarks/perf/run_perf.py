@@ -11,6 +11,10 @@ Writes ``BENCH_perf.json`` (see ``--out``) with four measurements:
                    both backends, plus a check that the figure's numeric
                    outputs are identical.
 * ``placement``  — heuristic solve time on a generated SVI-D instance.
+* ``churn``      — warm-started incremental re-placement vs a full
+                   re-solve on single-switch deltas (shrink / grow /
+                   poll-bump / task-add), gated at ``CHURN_MIN_SPEEDUP``
+                   and ``CHURN_MIN_UTILITY_RATIO``.
 * ``observability`` — the cost of the instrumentation hooks when tracing
                    is *disabled* (the production default), measured on the
                    compiled dispatch path and gated at
@@ -368,6 +372,56 @@ def bench_placement(quick: bool) -> dict:
     }
 
 
+#: Minimum incremental-vs-full speedup on single-switch churn deltas
+#: (the targeted-remediation path's reason to exist).
+CHURN_MIN_SPEEDUP = 10.0
+
+#: Minimum incremental utility as a fraction of the from-scratch solve.
+CHURN_MIN_UTILITY_RATIO = 0.99
+
+
+def bench_churn(quick: bool) -> dict:
+    """Warm-started incremental re-placement vs full re-solve under churn.
+
+    Always runs at full size (2000 seeds / 300 switches): the 10x gate
+    measures how the dirty set scales against the fleet, which a shrunken
+    instance cannot show — at 60 switches one dirty switch is already 2%
+    of the problem.
+    """
+    from repro.eval.experiments import run_churn_benchmark
+
+    del quick
+    points = run_churn_benchmark(num_seeds=2000, num_switches=300, seed=7)
+    scenarios = {
+        p.scenario: {
+            "full_s": p.full_s,
+            "incremental_s": p.incremental_s,
+            "speedup": p.speedup,
+            "utility_full": p.utility_full,
+            "utility_incremental": p.utility_incremental,
+            "utility_ratio": p.utility_ratio,
+            "dirty_seeds": p.dirty_seeds,
+            "dirty_switches": p.dirty_switches,
+            "incremental_used": p.incremental_used,
+            "feasible": p.feasible,
+        } for p in points}
+    min_speedup = min(p.speedup for p in points)
+    min_ratio = min(p.utility_ratio for p in points)
+    return {
+        "num_seeds": 2000,
+        "num_switches": 300,
+        "scenarios": scenarios,
+        "min_speedup": min_speedup,
+        "min_utility_ratio": min_ratio,
+        "speedup_bound": CHURN_MIN_SPEEDUP,
+        "utility_ratio_bound": CHURN_MIN_UTILITY_RATIO,
+        "speedup_ok": min_speedup >= CHURN_MIN_SPEEDUP,
+        "utility_ok": min_ratio >= CHURN_MIN_UTILITY_RATIO,
+        "all_incremental": all(p.incremental_used for p in points),
+        "all_feasible": all(p.feasible for p in points),
+    }
+
+
 #: Maximum tolerated slowdown of the compiled dispatch path from having a
 #: (disabled) tracer attached — the "near-zero-cost when off" claim.
 OBS_OVERHEAD_BOUND = 0.03
@@ -620,6 +674,7 @@ def main() -> int:
         "kernel": bench_kernel(kernel_events),
         "fig6": bench_fig6(args.quick),
         "placement": bench_placement(args.quick),
+        "churn": bench_churn(args.quick),
         "observability": bench_observability(dispatch_events,
                                              artifact_dir=args.artifacts),
         "scarecrow": bench_scarecrow(args.quick),
@@ -652,6 +707,17 @@ def main() -> int:
     p = report["placement"]
     print(f"placement: {p['num_seeds']} seeds / {p['num_switches']} switches "
           f"solved in {p['solve_s']:.2f}s (utility {p['utility']:.1f})")
+    ch = report["churn"]
+    print(f"churn: {ch['num_seeds']} seeds / {ch['num_switches']} switches — "
+          f"incremental {ch['min_speedup']:.1f}x+ faster than full "
+          f"(bound {ch['speedup_bound']:.0f}x), utility ratio "
+          f">= {ch['min_utility_ratio']:.3f} "
+          f"(bound {ch['utility_ratio_bound']:.2f})")
+    for name, s in ch["scenarios"].items():
+        print(f"  {name}: full {s['full_s']:.2f}s, incremental "
+              f"{s['incremental_s']:.3f}s ({s['speedup']:.0f}x), "
+              f"utility ratio {s['utility_ratio']:.3f}, "
+              f"{s['dirty_seeds']} dirty seeds")
     obs = report["observability"]
     print(f"observability: disabled-instrumentation overhead "
           f"{obs['overhead_fraction'] * 100:.2f}% "
@@ -699,6 +765,19 @@ def main() -> int:
         print(f"FAIL: scarecrow scrape overhead "
               f"{sc['overhead_fraction']:.3f} exceeds bound "
               f"{sc['overhead_bound']:.3f}", file=sys.stderr)
+        return 1
+    if not ch["all_feasible"] or not ch["all_incremental"]:
+        print("FAIL: churn scenarios produced infeasible solutions or "
+              "silently fell back to the full solver", file=sys.stderr)
+        return 1
+    if not ch["speedup_ok"]:
+        print(f"FAIL: incremental churn speedup {ch['min_speedup']:.1f}x "
+              f"below bound {ch['speedup_bound']:.0f}x", file=sys.stderr)
+        return 1
+    if not ch["utility_ok"]:
+        print(f"FAIL: incremental churn utility ratio "
+              f"{ch['min_utility_ratio']:.3f} below bound "
+              f"{ch['utility_ratio_bound']:.2f}", file=sys.stderr)
         return 1
     if not rem["mu_ok"]:
         print(f"FAIL: remediation retained less MU than detection only "

@@ -32,7 +32,8 @@ class FarmDeployment:
                  soil_config: Optional[SoilCommConfig] = None,
                  solver: str = "heuristic",
                  retry_policy: Optional[RetryPolicy] = None,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 incremental: bool = True) -> None:
         self.sim = Simulator()
         # One registry + tracer for the whole deployment: the fleet's
         # resource models, the control bus, and everything hanging off the
@@ -47,7 +48,8 @@ class FarmDeployment:
                               tracer=self.obs.tracer)
         self.seeder = Seeder(self.sim, self.controller, self.fleet, self.bus,
                              soil_config=soil_config, solver=solver,
-                             retry_policy=retry_policy)
+                             retry_policy=retry_policy,
+                             incremental=incremental)
         self.chaos: Optional[FaultInjector] = None
         self.scarecrow: Optional[Scarecrow] = None
         self.remediation = None

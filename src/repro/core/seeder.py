@@ -9,6 +9,7 @@ seed <-> seed and harvester <-> seed messages.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -19,6 +20,7 @@ from repro.almanac.poly import LinPoly
 from repro.errors import DeploymentError
 from repro.net.controller import SdnController
 from repro.placement.heuristic import solve_heuristic
+from repro.placement.incremental import FULL_RESOLVE_ENV, solve_incremental
 from repro.placement.milp import solve_milp
 from repro.placement.model import (
     PlacementProblem,
@@ -88,7 +90,8 @@ class Seeder:
                  solver: str = "heuristic",
                  resource_types=RESOURCE_TYPES,
                  milp_time_limit_s: float = 10.0,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 incremental: bool = True) -> None:
         if solver not in ("heuristic", "milp"):
             raise DeploymentError(f"unknown solver {solver!r}")
         self.sim = sim
@@ -96,6 +99,11 @@ class Seeder:
         self.fleet = fleet
         self.bus = bus
         self.solver = solver
+        #: Scoped re-solves (`reoptimize(scope=)`) warm-start from the
+        #: live placement instead of re-solving from scratch; see
+        #: :mod:`repro.placement.incremental`.  ``REPRO_FULL_RESOLVE=1``
+        #: overrides this at runtime.
+        self.incremental_enabled = incremental
         self.milp_time_limit_s = milp_time_limit_s
         self.resource_types = tuple(resource_types)
         self.retry_policy = retry_policy or RetryPolicy()
@@ -353,10 +361,32 @@ class Seeder:
         re-solve; see :meth:`build_problem`).
         """
         problem = self.build_problem(scope=scope)
+        use_incremental = (scope is not None and self.incremental_enabled
+                           and os.environ.get(FULL_RESOLVE_ENV) != "1")
         if self.solver == "milp":
-            solution = solve_milp(problem,
-                                  time_limit_s=self.milp_time_limit_s,
-                                  registry=self.metrics)
+            if use_incremental and problem.previous_placement:
+                # No true HiGHS MIP-start: warm-start by freezing the
+                # out-of-scope seeds to their current switch.
+                incumbent = self._incumbent_solution(problem)
+                scope_set = set(scope)
+                frozen = {sid for sid, n
+                          in problem.previous_placement.items()
+                          if n not in scope_set}
+                solution = solve_milp(problem,
+                                      time_limit_s=self.milp_time_limit_s,
+                                      registry=self.metrics,
+                                      warm_start=incumbent,
+                                      frozen_seeds=frozen)
+                solution.info.setdefault("incremental", True)
+                solution.info.setdefault("dirty_switches", len(scope_set))
+            else:
+                solution = solve_milp(problem,
+                                      time_limit_s=self.milp_time_limit_s,
+                                      registry=self.metrics)
+        elif use_incremental:
+            solution = solve_incremental(
+                problem, self._incumbent_solution(problem),
+                scope=set(scope), registry=self.metrics)
         else:
             solution = solve_heuristic(problem, registry=self.metrics)
         self._m_optimizations.inc()
@@ -367,9 +397,22 @@ class Seeder:
                            args={"solver": self.solver,
                                  "placed": len(solution.placement),
                                  "objective": solution.objective,
-                                 "scope": sorted(scope) if scope else None})
+                                 "scope": sorted(scope) if scope else None,
+                                 "incremental": bool(
+                                     solution.info.get("incremental")),
+                                 "dirty": solution.info.get(
+                                     "dirty_seeds")})
         self._reconcile(solution, restore_snapshots or {})
         return solution
+
+    def _incumbent_solution(self, problem: PlacementProblem
+                            ) -> PlacementSolution:
+        """The live placement as a warm-start incumbent for ``problem``."""
+        return PlacementSolution(
+            placement=dict(problem.previous_placement),
+            allocations={sid: dict(alloc) for sid, alloc
+                         in problem.previous_allocations.items()},
+            objective=0.0, solver="incumbent")
 
     # ------------------------------------------------------------------
     # Reconciliation

@@ -1,6 +1,15 @@
 """Seed-placement optimization (SIV): model, MILP, and Alg. 1 heuristic."""
 
 from repro.placement.heuristic import HeuristicPlacementSolver, solve_heuristic
+from repro.placement.incremental import (
+    DEFAULT_FALLBACK_RATIO,
+    FULL_RESOLVE_ENV,
+    ChurnDelta,
+    IncrementalPlacementSolver,
+    apply_delta,
+    compute_dirty,
+    solve_incremental,
+)
 from repro.placement.instances import TASK_TEMPLATES, generate_problem
 from repro.placement.linprog_builder import LinProgram, SolveResult
 from repro.placement.milp import MilpPlacementSolver, solve_milp
@@ -16,6 +25,9 @@ from repro.placement.model import (
 
 __all__ = [
     "HeuristicPlacementSolver", "solve_heuristic",
+    "DEFAULT_FALLBACK_RATIO", "FULL_RESOLVE_ENV", "ChurnDelta",
+    "IncrementalPlacementSolver", "apply_delta", "compute_dirty",
+    "solve_incremental",
     "TASK_TEMPLATES", "generate_problem",
     "LinProgram", "SolveResult",
     "MilpPlacementSolver", "solve_milp",

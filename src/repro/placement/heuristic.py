@@ -430,10 +430,17 @@ class HeuristicPlacementSolver:
     # ------------------------------------------------------------------
     # Steps 4-5: migration
     # ------------------------------------------------------------------
-    def migrate(self) -> int:
-        """Move seeds where they gain utility; returns number migrated."""
+    def migrate(self, eligible: Optional[set] = None) -> int:
+        """Move seeds where they gain utility; returns number migrated.
+
+        ``eligible`` restricts which placed seeds are even considered —
+        the incremental solver passes its dirty set so the benefit scan
+        stays proportional to the churn, not the fleet.
+        """
         candidates: List[Tuple[float, str, int]] = []
         for sid, current in self.placement.items():
+            if eligible is not None and sid not in eligible:
+                continue
             seed = self._seed_by_id[sid]
             if len(seed.candidates) < 2:
                 continue

@@ -19,7 +19,7 @@ Conventions
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Tuple
 
 from repro.almanac.poly import LinPoly, PiecewiseUtility
 from repro.errors import PlacementError
@@ -144,6 +144,9 @@ class PlacementSolution:
     runtime_s: float = 0.0
     placed_tasks: Tuple[str, ...] = ()
     status: str = "ok"
+    #: Solver-specific diagnostics (e.g. the incremental solver's dirty-set
+    #: sizes and fallback reason); never interpreted by the model layer.
+    info: Dict[str, Any] = field(default_factory=dict)
 
     def migrated_seeds(self, problem: PlacementProblem) -> List[str]:
         """Seeds whose switch changed relative to the previous placement."""

@@ -157,7 +157,10 @@ class RemediationEngine:
 
     def _do_resolve(self, switch: Optional[int]):
         solution = self.seeder.reoptimize(scope={switch})
-        return "re-solved", {"objective": solution.objective}
+        return "re-solved", {
+            "objective": solution.objective,
+            "incremental": bool(solution.info.get("incremental")),
+            "dirty_seeds": solution.info.get("dirty_seeds", 0)}
 
     def _do_quarantine(self, switch: Optional[int], rule: str):
         ft = self.fault_tolerance
