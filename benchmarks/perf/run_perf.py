@@ -29,6 +29,14 @@ Writes ``BENCH_perf.json`` (see ``--out``) with four measurements:
                    remediation engine acting as with detection only, and
                    an attached-but-idle engine must cost no more than
                    ``REMEDIATION_OVERHEAD_BOUND`` wall-clock.
+* ``profiler``   — the Surveyor gates: a stopped profiler must cost no
+                   more than ``PROFILER_DISABLED_BOUND``, 1-in-32
+                   sampling no more than ``PROFILER_SAMPLING_BOUND``,
+                   exact-mode attribution must cover the measured wall
+                   within 1% (``PROFILER_COVERAGE_MIN``), and the skewed
+                   profile run's imbalance shares must sum to 1.0; with
+                   ``--artifacts DIR`` the flame-graph HTML, collapsed
+                   stacks, and postmortem bundle become CI artifacts.
 
 ``differential_ok`` asserts interpreted and compiled traces are identical
 on a representative machine; CI gates on it, on ``fig6`` output equality,
@@ -620,7 +628,8 @@ def bench_observability(events: int, artifact_dir=None) -> dict:
         # before writing: a malformed trace fails the run, not the viewer.
         write_chrome_trace(farm.obs.tracer, str(trace_path),
                            registry=farm.obs.registry)
-        write_prometheus(farm.obs.registry, str(metrics_path))
+        write_prometheus(farm.obs.registry, str(metrics_path),
+                         tracer=farm.obs.tracer)
         scenario["artifacts"] = [str(trace_path), str(metrics_path)]
 
     return {
@@ -631,6 +640,134 @@ def bench_observability(events: int, artifact_dir=None) -> dict:
         "overhead_bound": OBS_OVERHEAD_BOUND,
         "overhead_ok": overhead <= OBS_OVERHEAD_BOUND,
         "scenario": scenario,
+    }
+
+
+#: Maximum tolerated kernel slowdown from the profiler machinery when no
+#: profiler is installed (a stopped profiler must leave no residue).
+PROFILER_DISABLED_BOUND = 0.03
+
+#: Maximum tolerated kernel slowdown with 1-in-32 sampling attribution.
+PROFILER_SAMPLING_BOUND = 0.10
+
+#: Exact-mode attribution must explain at least this fraction of the
+#: measured wall-clock (and never more than 1 + (1 - this)).
+PROFILER_COVERAGE_MIN = 0.99
+
+
+def bench_profiler(events: int, artifact_dir=None) -> dict:
+    """Surveyor gates: disabled overhead, sampling overhead, coverage.
+
+    The disabled gate runs on the classic self-rescheduling tick loop
+    with cost keys attached — near-empty callbacks are the most
+    adversarial per-event budget there is — comparing a never-profiled
+    run against one where a profiler was attached then *stopped* before
+    the run (stopping must restore the fast path bit-for-bit).  Exact
+    mode is gated on coverage instead of overhead, on the same loop:
+    the inter-dispatch delta attribution must sum to the measured
+    wall-clock within 1%.
+
+    The sampling gate runs on the representative skewed polling fleet
+    (``run_profile``, the workload sampling exists for) with no profiler
+    vs 1-in-32 sampling — same spirit as ``bench_scarecrow``, which also
+    measures against the realistic workload rather than the degenerate
+    one.  That run doubles as the imbalance-report gate and, with
+    ``--artifacts``, produces the flame-graph HTML / collapsed stacks /
+    postmortem bundle artifacts.
+    """
+    from repro.eval.experiments import run_profile
+    from repro.obs.profiler import Profiler
+
+    events = max(events, 100_000)
+    keys = [("soil", s, f"seed{s}", "tick") for s in range(8)]
+
+    def build():
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def tick():
+            n = counter["n"] = counter["n"] + 1
+            if n < events:
+                sim.schedule_at(sim.now + 0.001, tick,
+                                cost_key=keys[n & 7])
+
+        sim.schedule_at(0.0, tick, cost_key=keys[0])
+        return sim
+
+    def arm_plain():
+        build().run()
+
+    def arm_stopped():
+        sim = build()
+        Profiler(sim, mode="exact").start().stop()
+        sim.run()
+
+    # Multi-second fleet arms: a sub-second arm cannot resolve a 10%
+    # bound against runner noise (same sizing rationale as the other
+    # overhead gates, so --quick does not shrink it).
+    fleet = dict(base_seeds=6, duration_s=8.0)
+
+    disabled_overhead, _ = _paired_overhead(
+        arm_plain, arm_stopped, PROFILER_DISABLED_BOUND)
+    sampling_overhead, _ = _paired_overhead(
+        lambda: run_profile(mode="off", **fleet),
+        lambda: run_profile(mode="sampling", **fleet),
+        PROFILER_SAMPLING_BOUND)
+
+    # Exact-mode attribution coverage (retried: a GC pause between the
+    # last dispatch and the perf_counter read shrinks it spuriously).
+    coverage = 0.0
+    exact_wall = 0.0
+    for _ in range(3):
+        sim = build()
+        profiler = Profiler(sim, mode="exact").start()
+        start = time.perf_counter()
+        sim.run()
+        exact_wall = time.perf_counter() - start
+        profiler.stop()
+        coverage = profiler.cost_model().coverage(exact_wall)
+        if coverage >= PROFILER_COVERAGE_MIN:
+            break
+
+    flame_path = collapsed_path = postmortem_path = None
+    if artifact_dir is not None:
+        artifact_dir = Path(artifact_dir)
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        flame_path = str(artifact_dir / "profile.html")
+        collapsed_path = str(artifact_dir / "profile.collapsed")
+        postmortem_path = str(artifact_dir / "postmortem.json")
+    point = run_profile(flamegraph_path=flame_path,
+                        collapsed_path=collapsed_path,
+                        postmortem_path=postmortem_path)
+
+    return {
+        "events": events,
+        "disabled_overhead_fraction": disabled_overhead,
+        "disabled_overhead_bound": PROFILER_DISABLED_BOUND,
+        "disabled_ok": disabled_overhead <= PROFILER_DISABLED_BOUND,
+        "sampling_overhead_fraction": sampling_overhead,
+        "sampling_overhead_bound": PROFILER_SAMPLING_BOUND,
+        "sampling_ok": sampling_overhead <= PROFILER_SAMPLING_BOUND,
+        "exact_wall_s": exact_wall,
+        "coverage_fraction": coverage,
+        "coverage_bound": PROFILER_COVERAGE_MIN,
+        "coverage_ok": (PROFILER_COVERAGE_MIN <= coverage
+                        <= 2.0 - PROFILER_COVERAGE_MIN),
+        "profile_run": {
+            "switches": point.switches,
+            "seeds": point.seeds,
+            "dispatches": point.dispatches,
+            "wall_s": point.wall_s,
+            "coverage": point.coverage,
+            "gini": point.gini,
+            "max_mean_skew": point.max_mean_skew,
+            "shares_sum": point.shares_sum,
+            "top_switches": point.top_switches,
+        },
+        "imbalance_ok": (abs(point.shares_sum - 1.0) <= 0.01
+                         and len(point.top_switches) > 0),
+        "artifacts": [p for p in (flame_path, collapsed_path,
+                                  postmortem_path) if p],
     }
 
 
@@ -679,6 +816,8 @@ def main() -> int:
                                              artifact_dir=args.artifacts),
         "scarecrow": bench_scarecrow(args.quick),
         "remediation": bench_remediation(args.quick),
+        "profiler": bench_profiler(kernel_events,
+                                   artifact_dir=args.artifacts),
     }
 
     out = Path(args.out) if args.out else (
@@ -735,6 +874,15 @@ def main() -> int:
           f"(+{rem['mu_gain'] * 100:.1f} pts), idle-engine overhead "
           f"{rem['overhead_fraction'] * 100:.2f}% (bound "
           f"{rem['overhead_bound'] * 100:.0f}%)")
+    pr = report["profiler"]
+    print(f"profiler: disabled {pr['disabled_overhead_fraction'] * 100:.2f}% "
+          f"(bound {pr['disabled_overhead_bound'] * 100:.0f}%), sampling "
+          f"{pr['sampling_overhead_fraction'] * 100:.2f}% "
+          f"(bound {pr['sampling_overhead_bound'] * 100:.0f}%), exact "
+          f"coverage {pr['coverage_fraction'] * 100:.2f}% of "
+          f"{pr['exact_wall_s']:.2f}s wall; imbalance shares sum "
+          f"{pr['profile_run']['shares_sum']:.3f}, gini "
+          f"{pr['profile_run']['gini']:.3f}")
     print(f"wrote {out}")
 
     if not report["differential_ok"]:
@@ -788,6 +936,27 @@ def main() -> int:
         print(f"FAIL: idle remediation engine overhead "
               f"{rem['overhead_fraction']:.3f} exceeds bound "
               f"{rem['overhead_bound']:.3f}", file=sys.stderr)
+        return 1
+    if not pr["disabled_ok"]:
+        print(f"FAIL: stopped-profiler overhead "
+              f"{pr['disabled_overhead_fraction']:.3f} exceeds bound "
+              f"{pr['disabled_overhead_bound']:.3f}", file=sys.stderr)
+        return 1
+    if not pr["sampling_ok"]:
+        print(f"FAIL: sampling-profiler overhead "
+              f"{pr['sampling_overhead_fraction']:.3f} exceeds bound "
+              f"{pr['sampling_overhead_bound']:.3f}", file=sys.stderr)
+        return 1
+    if not pr["coverage_ok"]:
+        print(f"FAIL: exact-mode attribution covers "
+              f"{pr['coverage_fraction']:.3f} of wall, outside "
+              f"[{pr['coverage_bound']:.2f}, "
+              f"{2.0 - pr['coverage_bound']:.2f}]", file=sys.stderr)
+        return 1
+    if not pr["imbalance_ok"]:
+        print(f"FAIL: imbalance report shares sum "
+              f"{pr['profile_run']['shares_sum']:.3f} (want 1.0 +/- 0.01) "
+              f"or no hot switches named", file=sys.stderr)
         return 1
     return 0
 

@@ -165,6 +165,8 @@ class ControlBus:
                             f"{UNKNOWN_DST_POLICIES}, got {unknown_dst!r}")
         self.sim = sim
         self.base_latency_s = base_latency_s
+        # Shared profiler attribution key for every delivery event.
+        self._deliver_cost_key = ("bus", None, None, "deliver")
         #: What :meth:`send` does when the destination is not registered:
         #: ``"raise"`` (strict, the historic behavior) or ``"drop"`` (count
         #: the message as undeliverable and move on — required for retry
@@ -276,7 +278,8 @@ class ControlBus:
                                args=_trace_args(message))
         for extra_delay in deliveries:
             self.sim.schedule(latency + extra_delay, self._deliver, message,
-                              label=f"bus {src}->{dst}")
+                              label=f"bus {src}->{dst}",
+                              cost_key=self._deliver_cost_key)
         return message
 
     def _deliver(self, message: BusMessage) -> None:

@@ -123,12 +123,15 @@ class FaultToleranceManager:
                 labels={"switch": str(switch_id)})
             self._timers.append(self.sim.every(
                 heartbeat_interval_s, self._emit_heartbeat, switch_id,
-                label=f"heartbeat sw{switch_id}"))
+                label=f"heartbeat sw{switch_id}",
+                cost_key=("ft", switch_id, None, "heartbeat")))
         self._timers.append(self.sim.every(
             heartbeat_interval_s, self._check_health,
-            start_after=heartbeat_interval_s * 1.5, label="ft-check"))
+            start_after=heartbeat_interval_s * 1.5, label="ft-check",
+            cost_key=("ft", None, None, "ft-check")))
         self._timers.append(self.sim.every(
-            checkpoint_interval_s, self._checkpoint_all, label="ft-ckpt"))
+            checkpoint_interval_s, self._checkpoint_all, label="ft-ckpt",
+            cost_key=("ft", None, None, "ft-ckpt")))
 
     # -- legacy counter attributes (now registry-backed) -------------------
     @property

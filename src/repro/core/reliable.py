@@ -107,6 +107,8 @@ class ReliableEndpoint:
         # de-synchronized between endpoints.
         self.rng = rng or random.Random(zlib.crc32(name.encode("utf-8")))
         self._seq = itertools.count(1)
+        # Shared profiler attribution key for this endpoint's timeouts.
+        self._timeout_cost_key = ("reliable", None, None, name)
         self._pending: Dict[int, _Pending] = {}
         self._seen: Dict[str, Set[int]] = {}
         # Retry/dedup counters live on the deployment's metrics registry
@@ -182,7 +184,8 @@ class ReliableEndpoint:
             self.policy.backoff_cap_s, self.rng, self.policy.jitter_frac)
         pending.timer = self.sim.schedule(
             deadline, self._on_timeout, pending.seq,
-            label=f"rel-timeout {self.name}#{pending.seq}")
+            label=f"rel-timeout {self.name}#{pending.seq}",
+            cost_key=self._timeout_cost_key)
 
     def _on_timeout(self, seq: int) -> None:
         pending = self._pending.get(seq)

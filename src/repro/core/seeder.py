@@ -608,7 +608,9 @@ class Seeder:
                     + state_size / MIGRATION_BANDWIDTH_BPS)
         self.sim.schedule(transfer, self._finish_migration, seed, snapshot,
                           label=f"migrate {seed.seed_id} "
-                                f"->{seed.switch}")
+                                f"->{seed.switch}",
+                          cost_key=("seeder", seed.switch, seed.seed_id,
+                                    "migrate"))
 
     def _finish_migration(self, seed: ManagedSeed,
                           snapshot: Optional[Mapping[str, Any]]) -> None:

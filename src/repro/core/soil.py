@@ -75,6 +75,10 @@ class _PollPlan:
     subjects: Optional[frozenset]
     ports: Tuple[int, ...] = ()
     rule_patterns: Tuple[Any, ...] = ()
+    #: Precomputed profiler attribution key (component, switch, seed,
+    #: label) — shared by every event this plan schedules, so the
+    #: profiled hot path never allocates a key per firing.
+    cost_key: Optional[tuple] = None
 
 
 @dataclass
@@ -251,6 +255,11 @@ class Soil:
         self.metrics = bus.metrics
         self.tracer = bus.tracer
         self._track = f"switch/{switch.switch_id}"
+        # Shared profiler attribution keys for events that are not
+        # per-seed (batched deliveries, inbound messages).
+        self._batch_cost_key = ("soil", switch.switch_id, None,
+                                "deliver-batch")
+        self._recv_cost_key = ("soil", switch.switch_id, None, "recv")
         labels = {"switch": switch.switch_id}
         self._m_polls = self.metrics.counter(
             "farm_soil_polls_total",
@@ -433,7 +442,9 @@ class Soil:
                     c for kind, c in subjects if kind == "tcam")
             plans[name] = _PollPlan(
                 info=info, kind=info.kind, interval=interval,
-                subjects=subjects, ports=ports, rule_patterns=rule_patterns)
+                subjects=subjects, ports=ports, rule_patterns=rule_patterns,
+                cost_key=("soil", self.switch.switch_id,
+                          deployment.seed_id, name))
         deployment.poll_plans = plans
 
     def _disarm_triggers(self, deployment: SeedDeployment) -> None:
@@ -463,7 +474,8 @@ class Soil:
                 continue
             timer = self.sim.every(
                 plan.interval, self._fire_trigger, deployment.seed_id, name,
-                label=f"{deployment.seed_id}.{name}")
+                label=f"{deployment.seed_id}.{name}",
+                cost_key=plan.cost_key)
             deployment.timers[name] = timer
 
     def _join_group(self, deployment: SeedDeployment, name: str,
@@ -479,7 +491,9 @@ class Soil:
             group = _PollGroup(key=key, members=[])
             group.timer = self.sim.every(
                 plan.interval, self._fire_group, group,
-                label=f"poll-group {self.switch.switch_id}:{name}")
+                label=f"poll-group {self.switch.switch_id}:{name}",
+                cost_key=("soil", self.switch.switch_id, None,
+                          f"poll-group {name}"))
             self._poll_groups[key] = group
         member = (deployment.seed_id, name)
         group.members.append(member)
@@ -507,7 +521,9 @@ class Soil:
                                      members=[member])
                 private.timer = self.sim.every(
                     interval, self._fire_group, private,
-                    label=f"{deployment.seed_id}.{var}")
+                    label=f"{deployment.seed_id}.{var}",
+                    cost_key=("soil", self.switch.switch_id,
+                              deployment.seed_id, var))
                 self._memberships[member] = private
                 deployment.timers[var] = private.timer
         elif self.batching:
@@ -515,7 +531,9 @@ class Soil:
                                  members=[member])
             private.timer = self.sim.every(
                 interval, self._fire_group, private,
-                label=f"{deployment.seed_id}.{var}")
+                label=f"{deployment.seed_id}.{var}",
+                cost_key=("soil", self.switch.switch_id,
+                          deployment.seed_id, var))
             self._memberships[member] = private
             deployment.timers[var] = private.timer
         else:
@@ -525,7 +543,9 @@ class Soil:
             else:
                 deployment.timers[var] = self.sim.every(
                     interval, self._fire_trigger, deployment.seed_id, var,
-                    label=f"{deployment.seed_id}.{var}")
+                    label=f"{deployment.seed_id}.{var}",
+                    cost_key=("soil", self.switch.switch_id,
+                              deployment.seed_id, var))
         # Interval now diverges from the static analysis: pin it.
         info = deployment.poll_vars.get(var)
         if info is not None:
@@ -601,8 +621,10 @@ class Soil:
             tracer.complete(f"{deployment.seed_id}.{var}", track=self._track,
                             start=self.sim.now, duration=total, cat="poll",
                             args={"trace_id": deployment.seed_id})
+        plan = deployment.poll_plans.get(var)
         self.sim.schedule(total, self._run_handler, deployment.seed_id, var,
-                          data, label=f"deliver {deployment.seed_id}.{var}")
+                          data, label=f"deliver {deployment.seed_id}.{var}",
+                          cost_key=plan.cost_key if plan else None)
 
     def _fire_group(self, group: _PollGroup) -> None:
         """Service every member of a fused poll group from one timer event.
@@ -628,6 +650,7 @@ class Soil:
         if len(live) > 1:
             self._m_batched_polls.inc()
         deliveries: Dict[float, List[Tuple[str, str, Any]]] = {}
+        delivery_keys: Dict[float, Optional[tuple]] = {}
         for deployment, var, plan in live:
             if plan.kind == "time":
                 data, extra = None, 0.0
@@ -648,16 +671,21 @@ class Soil:
                                 track=self._track, start=self.sim.now,
                                 duration=total, cat="poll",
                                 args={"trace_id": deployment.seed_id})
-            deliveries.setdefault(total, []).append(
-                (deployment.seed_id, var, data))
+            bucket = deliveries.setdefault(total, [])
+            if not bucket:
+                # First member's key serves if the bucket stays single.
+                delivery_keys[total] = plan.cost_key
+            bucket.append((deployment.seed_id, var, data))
         for total, batch in deliveries.items():
             if len(batch) == 1:
                 seed_id, var, data = batch[0]
                 self.sim.schedule(total, self._run_handler, seed_id, var,
-                                  data, label=f"deliver {seed_id}.{var}")
+                                  data, label=f"deliver {seed_id}.{var}",
+                                  cost_key=delivery_keys[total])
             else:
                 self.sim.schedule(total, self._run_handler_batch, batch,
-                                  label=f"deliver batch x{len(batch)}")
+                                  label=f"deliver batch x{len(batch)}",
+                                  cost_key=self._batch_cost_key)
 
     def _run_handler(self, seed_id: str, var: str, data: Any) -> None:
         deployment = self.deployments.get(seed_id)
@@ -990,7 +1018,7 @@ class Soil:
             deployment.event_cpu_s + cpu_cost, context_switches=ctx)
         self.sim.schedule(
             delay, self._fire_recv, seed_id, value, source_machine,
-            label=f"recv {seed_id}")
+            label=f"recv {seed_id}", cost_key=self._recv_cost_key)
 
     def _fire_recv(self, seed_id: str, value: Any,
                    source_machine: str) -> None:

@@ -21,6 +21,13 @@ no external assets, opens from file:// or a CI artifact).
 ``remediation`` runs the closed-loop gray-failure comparison (engine
 off / dry-run / active); with ``--out PATH`` the active run's dashboard
 — including the remediation decision timeline — is written as HTML.
+
+``profile`` runs a deliberately skewed Fig. 6-style fleet under the
+Surveyor profiler and writes the flame-graph HTML (``--out``, default
+``profile.html``), plus the collapsed-stack export (``.collapsed``) and
+a flight-recorder postmortem bundle (``.postmortem.json``) next to it,
+and prints the load-imbalance report (per-switch cost shares,
+Gini/max-mean skew — the shard-partitioner inputs).
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from repro.eval import (
     run_fig8_pcie,
     run_fig9_aggregation,
     run_fig10_comm_latency,
+    run_profile,
     run_remediation_loop,
     run_scarecrow_chaos,
     run_tab4_responsiveness,
@@ -176,10 +184,31 @@ def _remediation(dashboard_path=None):
     return cmp
 
 
+def _profile(out_path=None):
+    print("Surveyor — profiled skewed Fig. 6-style fleet")
+    stem = out_path[:-5] if (out_path or "").endswith(".html") else out_path
+    point = run_profile(
+        flamegraph_path=out_path,
+        collapsed_path=f"{stem}.collapsed" if stem else None,
+        postmortem_path=f"{stem}.postmortem.json" if stem else None)
+    print(format_table(
+        ["switch", "cost", "share"],
+        [(sw, format_latency(ns / 1e9), f"{share * 100:.2f}%")
+         for sw, ns, share in point.top_switches]))
+    print(f"  {point.seeds} seeds / {point.switches} switches, "
+          f"{point.dispatches} dispatches in {point.wall_s:.2f}s wall; "
+          f"attribution coverage {point.coverage * 100:.1f}%")
+    print(f"  imbalance: shares sum {point.shares_sum:.3f}, gini "
+          f"{point.gini:.3f}, max/mean {point.max_mean_skew:.2f}x; "
+          f"hottest seed {point.hot_seed}")
+    return point
+
+
 EXPERIMENTS = {
     "tab4": _tab4, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
     "fig7": _fig7, "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
     "scarecrow": _scarecrow, "remediation": _remediation,
+    "profile": _profile,
 }
 
 
@@ -193,7 +222,7 @@ def main(argv) -> int:
             return 2
         json_path = args[index + 1]
         del args[index:index + 2]
-    if args and args[0] in ("dashboard", "remediation"):
+    if args and args[0] in ("dashboard", "remediation", "profile"):
         which = args[0]
         out = f"{which}.html" if "--out" in args else None
         if "--out" in args:
@@ -205,9 +234,15 @@ def main(argv) -> int:
             del args[index:index + 2]
         elif which == "dashboard":
             out = "dashboard.html"
+        elif which == "profile":
+            out = "profile.html"
         if which == "dashboard":
             _scarecrow(dashboard_path=out)
             print(f"[dashboard written to {out}]")
+            return 0
+        if which == "profile":
+            _profile(out_path=out)
+            print(f"[flame graph written to {out}]")
             return 0
         if out is not None:
             _remediation(dashboard_path=out)
@@ -218,7 +253,8 @@ def main(argv) -> int:
     if names in (["--help"], ["-h"]):
         print(__doc__)
         print("experiments:", ", ".join(sorted(EXPERIMENTS)), "| all",
-              "| dashboard --out PATH | remediation --out PATH")
+              "| dashboard --out PATH | remediation --out PATH",
+              "| profile --out PATH")
         return 0
     if names == ["all"]:
         names = sorted(EXPERIMENTS)

@@ -1124,3 +1124,113 @@ def run_remediation_loop(duration_s: float = 80.0,
         dry=run_remediation_mode("dry", **kwargs),
         active=run_remediation_mode("active", dashboard_path=dashboard_path,
                                     **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Surveyor — profiling and load-imbalance reporting
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ProfilePoint:
+    """One profiled run of the skewed Fig. 6-style workload."""
+
+    mode: str
+    switches: int
+    seeds: int
+    wall_s: float
+    attributed_s: float
+    coverage: float          # attributed / wall (exact mode: >= 0.99)
+    dispatches: int
+    gini: float
+    max_mean_skew: float
+    shares_sum: float        # per-switch cost shares, must be 1.0 +- 0.01
+    top_switches: List[Tuple[str, float, float]]  # (switch, ns, share)
+    hot_seed: Optional[str]
+
+
+def run_profile(num_switches: int = 6, base_seeds: int = 3,
+                accuracy_ms: float = 10.0, duration_s: float = 2.0,
+                mode: str = "exact", sample_every: int = 32,
+                top_k: int = 5,
+                flamegraph_path: Optional[str] = None,
+                collapsed_path: Optional[str] = None,
+                postmortem_path: Optional[str] = None) -> ProfilePoint:
+    """Profile a deliberately *skewed* Fig. 6-style polling fleet.
+
+    Switch ``i`` (1-based) hosts ``base_seeds * i`` seeds, so the
+    imbalance report has a known shape: cost shares should rise roughly
+    linearly with the switch id and the top-k table must name the
+    highest-id switches.  The optional paths write the flame-graph HTML,
+    the collapsed-stack export, and a flight-recorder postmortem bundle
+    (artifacts for CI).
+
+    ``mode="off"`` runs the identical fleet with no profiler attached
+    and returns only the wall-clock — the baseline arm for the overhead
+    gates in ``benchmarks/perf/run_perf.py``.
+    """
+    from time import perf_counter
+
+    from repro.obs import Observability
+    from repro.obs.profiler import ProfilingBundle
+    from repro.sim.engine import Simulator as _Sim
+
+    sim = _Sim()
+    obs = Observability(sim)
+    want_recorder = postmortem_path is not None
+    bundle = None
+    if mode != "off":
+        bundle = ProfilingBundle(
+            sim, obs, mode=mode, sample_every=sample_every,
+            flight_recorder=want_recorder,
+            counter_interval_s=duration_s / 4 if want_recorder else None)
+    bus = ControlBus(sim, registry=obs.registry, tracer=obs.tracer)
+    seeds_total = 0
+    for index in range(1, num_switches + 1):
+        switch = Switch(sim, index)
+        soil = Soil(sim, switch, driver_for(switch), bus)
+        for s in range(base_seeds * index):
+            _deploy_polling_seed(soil, f"sw{index}-hh{s}",
+                                 interval_s=accuracy_ms / 1000.0,
+                                 event_cpu_s=10e-6)
+            seeds_total += 1
+    if bundle is not None:
+        bundle.reanchor()
+    start = perf_counter()
+    sim.run(until=duration_s)
+    wall_s = perf_counter() - start
+    if bundle is None:
+        return ProfilePoint(
+            mode=mode, switches=num_switches, seeds=seeds_total,
+            wall_s=wall_s, attributed_s=0.0, coverage=0.0, dispatches=0,
+            gini=0.0, max_mean_skew=0.0, shares_sum=0.0,
+            top_switches=[], hot_seed=None)
+    bundle.profiler.stop()
+
+    model = bundle.cost_model()
+    report = model.imbalance_report()
+    if flamegraph_path is not None:
+        from repro.obs.flamegraph import write_flamegraph
+        write_flamegraph(
+            flamegraph_path, model,
+            subtitle=f"{seeds_total} seeds over {num_switches} switches "
+                     f"(linear skew), {accuracy_ms:g} ms polls, "
+                     f"{duration_s:g} sim-s, {mode} mode",
+            report=report)
+    if collapsed_path is not None:
+        from repro.obs.flamegraph import write_collapsed
+        write_collapsed(collapsed_path, model)
+    if postmortem_path is not None:
+        bundle.write_postmortem(postmortem_path, reason="profile-run")
+    bundle.stop()
+
+    top = [(str(sw), float(ns), share)
+           for sw, ns, share in report.top(top_k)]
+    hot_seeds = model.top_seeds(1)
+    return ProfilePoint(
+        mode=mode, switches=num_switches, seeds=seeds_total,
+        wall_s=wall_s, attributed_s=model.total_ns / 1e9,
+        coverage=model.coverage(wall_s), dispatches=model.dispatches,
+        gini=report.gini, max_mean_skew=report.max_mean_skew,
+        shares_sum=sum(report.shares.values()),
+        top_switches=top,
+        hot_seed=hot_seeds[0][0] if hot_seeds else None)

@@ -138,7 +138,8 @@ class HeavyHitterWorkload(Workload):
         self._reshuffle()
         if self.churn_interval:
             self._sim.every(self.churn_interval, self._reshuffle,
-                            label="hh-churn")
+                            label="hh-churn",
+                            cost_key=("traffic", None, None, "hh-churn"))
 
     def _reshuffle(self) -> None:
         """Draw a fresh heavy subset and adjust flow rates."""
@@ -182,7 +183,10 @@ class DDoSWorkload(Workload):
     def _build(self) -> None:
         assert self._sim is not None
         if self.start_delay:
-            self._sim.schedule(self.start_delay, self._launch)
+            self._sim.schedule(self.start_delay, self._launch,
+                               label="ddos-launch",
+                               cost_key=("traffic", None, None,
+                                         "ddos-launch"))
         else:
             self._launch()
 

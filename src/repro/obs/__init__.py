@@ -54,6 +54,21 @@ from repro.obs.alerts import (
     ThresholdRule,
 )
 from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.flamegraph import (
+    render_flamegraph,
+    to_collapsed,
+    write_collapsed,
+    write_flamegraph,
+)
+from repro.obs.profiler import (
+    CostEntry,
+    CostModel,
+    FlightRecorder,
+    ImbalanceReport,
+    Profiler,
+    ProfilingBundle,
+    gini_coefficient,
+)
 from repro.obs.query import QueryEngine, Vector, parse_selector
 from repro.obs.scarecrow import Scarecrow
 from repro.obs.trace import MAX_TRACE_EVENTS, NULL_SPAN, NULL_TRACER, Span, Tracer
@@ -110,11 +125,15 @@ __all__ = [
     "AlertEvent",
     "AlertManager",
     "AlertRule",
+    "CostEntry",
+    "CostModel",
     "Counter",
     "EwmaAnomalyRule",
     "FIRING",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "ImbalanceReport",
     "MAX_TRACE_EVENTS",
     "MetricsRegistry",
     "NULL_SPAN",
@@ -122,6 +141,8 @@ __all__ = [
     "Observability",
     "PENDING",
     "Point",
+    "Profiler",
+    "ProfilingBundle",
     "QueryEngine",
     "RESOLVED",
     "RateWindow",
@@ -138,10 +159,15 @@ __all__ = [
     "Tracer",
     "Vector",
     "freeze_labels",
+    "gini_coefficient",
     "merge_points",
     "parse_selector",
     "render_dashboard",
+    "render_flamegraph",
+    "to_collapsed",
+    "write_collapsed",
     "write_dashboard",
+    "write_flamegraph",
     "parse_prometheus_text",
     "to_chrome_trace",
     "to_jsonl",

@@ -362,6 +362,11 @@ table.legend td { padding: 2px 14px 2px 0; }
   border-radius: 2px; margin-right: 6px; vertical-align: baseline;
 }
 .note { color: var(--text-2); font-size: 12px; margin-top: 4px; }
+.banner {
+  background: color-mix(in srgb, #d03b3b 12%, var(--card));
+  border: 1px solid #d03b3b; border-radius: 8px;
+  padding: 10px 14px; margin: 12px 0; max-width: 720px;
+}
 """
 
 
@@ -373,13 +378,16 @@ def render_dashboard(store: TimeSeriesStore,
                      t0: Optional[float] = None,
                      t1: Optional[float] = None,
                      annotations: Optional[
-                         Sequence[Tuple[float, str, str]]] = None) -> str:
+                         Sequence[Tuple[float, str, str]]] = None,
+                     tracer: Optional[Any] = None) -> str:
     """Render the whole store (or just ``families``) to one HTML page.
 
     ``annotations`` is an optional sequence of ``(t, label, kind)``
     markers (kind in {decision, outcome, blocked}) rendered as a
     "Remediation" lane under the alert timeline — usually
-    ``RemediationLog.annotations()``.
+    ``RemediationLog.annotations()``.  Pass the deployment ``tracer`` to
+    surface trace truncation: a warning banner appears when its bounded
+    buffer dropped events (``Tracer.dropped`` nonzero).
     """
     names = list(families) if families is not None else store.names()
     all_points = [p for name in names for s in store.select(name)
@@ -426,12 +434,19 @@ def render_dashboard(store: TimeSeriesStore,
     remediation_html = (
         f"<h2>Remediation</h2>{_annotation_timeline(annotations, t0, t1)}"
         if annotations is not None else "")
+    dropped = getattr(tracer, "dropped", 0) if tracer is not None else 0
+    banner_html = (
+        f'<div class="banner">⚠ Trace truncated: {dropped} event'
+        f'{"s" if dropped != 1 else ""} dropped after the buffer cap '
+        f"({getattr(tracer, 'max_events', 0)}) was reached — the "
+        f"exported trace and any trace-derived panels undercount."
+        f"</div>" if dropped else "")
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en"><head><meta charset="utf-8">'
         f"<title>{html.escape(title)}</title>"
         f"<style>{_CSS}</style></head><body>"
-        f"<h1>{html.escape(title)}</h1>{subtitle_html}"
+        f"<h1>{html.escape(title)}</h1>{subtitle_html}{banner_html}"
         f'<div class="tiles">{tile_html}</div>'
         f"<h2>Alerts</h2>{alert_html}"
         f"{remediation_html}"

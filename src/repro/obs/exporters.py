@@ -27,7 +27,7 @@ from repro.obs.trace import Tracer
 TRACE_PID = 1
 
 #: Valid phase codes for the events we emit (plus metadata).
-_VALID_PHASES = {"X", "i", "b", "e", "M"}
+_VALID_PHASES = {"X", "i", "b", "e", "M", "C"}
 
 
 # ---------------------------------------------------------------------------
@@ -54,8 +54,14 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
-def to_prometheus_text(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus exposition format."""
+def to_prometheus_text(registry: MetricsRegistry,
+                       tracer: Optional[Tracer] = None) -> str:
+    """Render the registry in the Prometheus exposition format.
+
+    Pass the deployment ``tracer`` to append ``farm_trace_dropped_total``
+    — events the bounded trace buffer refused — so truncated traces are
+    visible in scraped metrics, not just in the trace file itself.
+    """
     lines: List[str] = []
     for family in registry.families():
         if family.help:
@@ -77,6 +83,11 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
             else:
                 lines.append(f"{family.name}{_format_labels(key)} "
                              f"{_format_value(child.value)}")
+    if tracer is not None:
+        lines.append("# HELP farm_trace_dropped_total Trace events "
+                     "dropped after the buffer cap was reached.")
+        lines.append("# TYPE farm_trace_dropped_total counter")
+        lines.append(f"farm_trace_dropped_total {tracer.dropped}")
     return "\n".join(lines) + "\n"
 
 
@@ -130,9 +141,10 @@ def parse_prometheus_text(text: str) -> Dict[str, float]:
     return out
 
 
-def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+def write_prometheus(registry: MetricsRegistry, path: str,
+                     tracer: Optional[Tracer] = None) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(to_prometheus_text(registry))
+        fh.write(to_prometheus_text(registry, tracer=tracer))
 
 
 # ---------------------------------------------------------------------------
@@ -240,6 +252,13 @@ def validate_chrome_trace(doc: Any) -> None:
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise ValueError(f"traceEvents[{i}]: complete event "
                                  f"needs non-negative dur, got {dur!r}")
+        if ph == "C":
+            args = event.get("args")
+            if (not isinstance(args, dict) or not args
+                    or not all(isinstance(v, (int, float))
+                               for v in args.values())):
+                raise ValueError(f"traceEvents[{i}]: counter event needs "
+                                 f"a dict of numeric series, got {args!r}")
         if ph in ("b", "e"):
             if not isinstance(event.get("cat"), str):
                 raise ValueError(f"traceEvents[{i}]: async event needs cat")

@@ -46,6 +46,14 @@ class Scarecrow:
         self.alerts = AlertManager(self.engine, tracer=self.tracer,
                                    clock=lambda: sim.now)
         self.scraper.on_scrape.append(self._after_scrape)
+        # Trace truncation is observable data: scrape the tracer's
+        # dropped counter into the TSDB so rules can watch it.
+        if self.tracer is not NULL_TRACER:
+            self.scraper.collectors.append(self._collect_trace_health)
+
+    def _collect_trace_health(self) -> Iterable[Tuple[str, dict, float]]:
+        return [("farm_trace_dropped_total", {},
+                 float(self.tracer.dropped))]
 
     def _after_scrape(self, now: float) -> None:
         self.alerts.evaluate(now)
@@ -85,7 +93,9 @@ class Scarecrow:
         return self.alerts.events_for(rule_name)
 
     def render_dashboard(self, **kwargs) -> str:
+        kwargs.setdefault("tracer", self.tracer)
         return render_dashboard(self.store, alerts=self.alerts, **kwargs)
 
     def write_dashboard(self, path: str, **kwargs) -> None:
+        kwargs.setdefault("tracer", self.tracer)
         write_dashboard(path, self.store, alerts=self.alerts, **kwargs)

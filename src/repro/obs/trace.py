@@ -89,6 +89,12 @@ class Tracer:
         self.max_events = max_events
         self.events: List[Dict[str, Any]] = []
         self.dropped = 0
+        #: When False, events are generated (and fed to ``on_emit``) but
+        #: not buffered — ring-only mode for the flight recorder.
+        self.buffering = True
+        #: Optional tap called with every emitted event (flight-recorder
+        #: ring append); runs before the buffering decision.
+        self.on_emit: Optional[Callable[[Dict[str, Any]], None]] = None
 
     # -- plumbing ----------------------------------------------------------
     def now(self) -> float:
@@ -96,6 +102,11 @@ class Tracer:
         return clock() if clock is not None else 0.0
 
     def _emit(self, event: Dict[str, Any]) -> None:
+        tap = self.on_emit
+        if tap is not None:
+            tap(event)
+        if not self.buffering:
+            return
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
@@ -147,6 +158,18 @@ class Tracer:
             return
         self._emit({"ph": "e", "name": name, "cat": cat, "track": track,
                     "ts": self.now(), "id": span_id, "args": args})
+
+    def counter(self, name: str, track: str,
+                values: Dict[str, float], cat: str = "counter") -> None:
+        """Record one sample of a (possibly multi-series) counter track.
+
+        Renders in Perfetto as a stacked counter chart (``ph="C"``); the
+        profiler publishes cumulative per-switch cost this way.
+        """
+        if not self.enabled:
+            return
+        self._emit({"ph": "C", "name": name, "cat": cat, "track": track,
+                    "ts": self.now(), "args": dict(values)})
 
     # -- reading -----------------------------------------------------------
     def __len__(self) -> int:

@@ -270,7 +270,8 @@ class Scraper:
         if self._timer is None or not self._timer.running:
             self._timer = self.sim.every(
                 self.interval_s, self.scrape_once, start_after=first_at,
-                priority=SCRAPE_PRIORITY, label="scarecrow-scrape")
+                priority=SCRAPE_PRIORITY, label="scarecrow-scrape",
+                cost_key=("scarecrow", None, None, "scrape"))
         return self
 
     def stop(self) -> None:

@@ -54,17 +54,25 @@ class Event:
     """A scheduled callback.
 
     Returned by :meth:`Simulator.schedule`; hold onto it to :meth:`cancel`.
+
+    ``cost_key`` is an optional ``(component, switch_id, seed_id, label)``
+    tuple the profiler charges this event's wall-clock to (see
+    :mod:`repro.obs.profiler`).  Schedulers pass a precomputed shared
+    tuple, so carrying it costs one slot, not an allocation per event.
     """
 
-    __slots__ = ("callback", "args", "cancelled", "fired", "label", "_sim")
+    __slots__ = ("callback", "args", "cancelled", "fired", "label",
+                 "cost_key", "_sim")
 
     def __init__(self, callback: Callable[..., None], args: tuple,
-                 label: str = "") -> None:
+                 label: str = "",
+                 cost_key: Optional[tuple] = None) -> None:
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
         self.label = label
+        self.cost_key = cost_key
         self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
@@ -111,6 +119,11 @@ class Simulator:
         # every fired event.  Kept as a plain attribute so the disabled
         # cost in step() is one load + branch (the hot loop budget).
         self._trace_hook: Optional[Callable[[float, str], None]] = None
+        # Optional profiler: when set, step() routes every callback
+        # through ``profiler.dispatch(event)`` so wall-clock can be
+        # attributed to the event's cost key.  Same disabled budget as
+        # the trace hook: one load + branch.
+        self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -141,11 +154,24 @@ class Simulator:
         """
         self._trace_hook = hook
 
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Install (or clear, with None) the dispatch profiler.
+
+        ``profiler.dispatch(event)`` replaces the plain
+        ``event.callback(*event.args)`` call in :meth:`step` while
+        installed; :class:`repro.obs.profiler.Profiler` uses this to time
+        callbacks and charge them to their cost keys.  The profiler must
+        invoke the callback exactly once — it wraps dispatch, it does not
+        observe it — so sim-time semantics are unchanged.
+        """
+        self._profiler = profiler
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any,
-                 priority: int = NORMAL_PRIORITY, label: str = "") -> Event:
+                 priority: int = NORMAL_PRIORITY, label: str = "",
+                 cost_key: Optional[tuple] = None) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
 
         ``delay`` must be non-negative and finite; scheduling into the past
@@ -154,16 +180,18 @@ class Simulator:
         if delay < 0 or math.isnan(delay) or math.isinf(delay):
             raise SimulationError(f"invalid event delay: {delay!r}")
         return self.schedule_at(self._now + delay, callback, *args,
-                                priority=priority, label=label)
+                                priority=priority, label=label,
+                                cost_key=cost_key)
 
     def schedule_at(self, when: float, callback: Callable[..., None],
                     *args: Any, priority: int = NORMAL_PRIORITY,
-                    label: str = "") -> Event:
+                    label: str = "",
+                    cost_key: Optional[tuple] = None) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when}: simulation time is {self._now}")
-        event = Event(callback, args, label=label)
+        event = Event(callback, args, label=label, cost_key=cost_key)
         event._sim = self
         heapq.heappush(self._heap, (when, priority, next(self._seq), event))
         self._live += 1
@@ -212,7 +240,11 @@ class Simulator:
             hook = self._trace_hook
             if hook is not None:
                 hook(when, event.label)
-            event.callback(*event.args)
+            profiler = self._profiler
+            if profiler is None:
+                event.callback(*event.args)
+            else:
+                profiler.dispatch(event)
             return True
         return False
 
@@ -253,7 +285,8 @@ class Simulator:
     # ------------------------------------------------------------------
     def every(self, interval: float, callback: Callable[..., None], *args: Any,
               start_after: Optional[float] = None, label: str = "",
-              priority: int = NORMAL_PRIORITY) -> "PeriodicTimer":
+              priority: int = NORMAL_PRIORITY,
+              cost_key: Optional[tuple] = None) -> "PeriodicTimer":
         """Create a periodic timer firing ``callback`` every ``interval``.
 
         The first firing happens after ``start_after`` (defaults to one
@@ -264,7 +297,7 @@ class Simulator:
         they observe has settled.
         """
         timer = PeriodicTimer(self, interval, callback, args, label=label,
-                              priority=priority)
+                              priority=priority, cost_key=cost_key)
         timer.start(start_after)
         return timer
 
@@ -280,7 +313,8 @@ class PeriodicTimer:
     def __init__(self, sim: Simulator, interval: float,
                  callback: Callable[..., None], args: tuple = (),
                  label: str = "",
-                 priority: int = NORMAL_PRIORITY) -> None:
+                 priority: int = NORMAL_PRIORITY,
+                 cost_key: Optional[tuple] = None) -> None:
         if interval <= 0:
             raise SimulationError(f"timer interval must be positive: {interval}")
         self.sim = sim
@@ -289,6 +323,7 @@ class PeriodicTimer:
         self.args = args
         self.label = label
         self.priority = priority
+        self.cost_key = cost_key
         self._event: Optional[Event] = None
         self._stopped = True
         self.fire_count = 0
@@ -302,7 +337,8 @@ class PeriodicTimer:
         self._stopped = False
         delay = self.interval if start_after is None else start_after
         self._event = self.sim.schedule(delay, self._fire, label=self.label,
-                                        priority=self.priority)
+                                        priority=self.priority,
+                                        cost_key=self.cost_key)
 
     def stop(self) -> None:
         """Disarm the timer.  Idempotent."""
@@ -320,7 +356,8 @@ class PeriodicTimer:
             if self._event is not None:
                 self._event.cancel()
             self._event = self.sim.schedule(interval, self._fire, label=self.label,
-                                            priority=self.priority)
+                                            priority=self.priority,
+                                            cost_key=self.cost_key)
 
     def _fire(self) -> None:
         if self._stopped:
@@ -329,7 +366,8 @@ class PeriodicTimer:
         # Schedule the next firing before running the callback so the callback
         # may call reschedule()/stop() and win.
         self._event = self.sim.schedule(self.interval, self._fire, label=self.label,
-                                        priority=self.priority)
+                                        priority=self.priority,
+                                        cost_key=self.cost_key)
         self.callback(*self.args)
 
 

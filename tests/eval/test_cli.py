@@ -17,7 +17,7 @@ class TestCli:
     def test_registry_covers_every_artifact(self):
         assert set(EXPERIMENTS) == {"tab4", "fig4", "fig5", "fig6", "fig7",
                                     "fig8", "fig9", "fig10", "scarecrow",
-                                    "remediation"}
+                                    "remediation", "profile"}
 
     def test_fast_experiment_runs(self, capsys):
         assert main(["prog", "fig10"]) == 0
